@@ -1,0 +1,39 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench prints (a) the experiment id and paper reference, (b) the
+// regenerated rows/series, and (c) the paper's reported shape next to ours,
+// so EXPERIMENTS.md can be assembled from the raw output.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/stats.h"
+
+namespace shredder::bench {
+
+inline void print_header(const char* experiment_id, const char* title,
+                         const char* paper_shape) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment_id, title);
+  std::printf("paper shape: %s\n", paper_shape);
+  std::printf("==============================================================\n");
+}
+
+inline std::string mb_label(std::uint64_t bytes) {
+  if (bytes >= 1024ull * 1024) {
+    return std::to_string(bytes / (1024 * 1024)) + "M";
+  }
+  if (bytes >= 1024) return std::to_string(bytes / 1024) + "K";
+  return std::to_string(bytes);
+}
+
+// Buffer-size sweep used by Figures 5, 6, 9, 11 and Table 2.
+inline std::vector<std::uint64_t> paper_buffer_sweep() {
+  return {16ull << 20, 32ull << 20, 64ull << 20, 128ull << 20, 256ull << 20};
+}
+
+}  // namespace shredder::bench

@@ -1,0 +1,71 @@
+// Figure 18 — consolidated cloud-backup bandwidth with varying image
+// similarity (§7.3): Shredder-GPU vs the pthreads-CPU chunker, min/max
+// chunk sizes enabled, 10 Gb/s image generation.
+//
+// Every snapshot is genuinely chunked, hashed, deduplicated against the
+// server's index and reconstructed+verified at the backup site.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "backup/backup_server.h"
+#include "common/stats.h"
+
+int main() {
+  using namespace shredder;
+  using namespace shredder::backup;
+  bench::print_header(
+      "F18", "Figure 18: backup bandwidth vs segment-change probability",
+      "Shredder ~2.5x the pthreads baseline, near the 10 Gb/s target at high "
+      "similarity, decaying as similarity drops (index+network bound); "
+      "pthreads flat (chunking bound ~3 Gb/s)");
+
+  ImageRepoConfig repo_cfg;
+  repo_cfg.image_bytes = 64ull << 20;
+  repo_cfg.segment_bytes = 1ull << 20;
+  ImageRepository repo(repo_cfg);
+
+  auto server_config = [&](ChunkerBackend backend) {
+    BackupServerConfig cfg;
+    cfg.backend = backend;
+    cfg.shredder.buffer_bytes = 16ull << 20;
+    return cfg;
+  };
+
+  TablePrinter t({"ChangeProb", "Pthreads-CPU", "Shredder-GPU", "UniqueData",
+                  "DedupChunks", "Verified"},
+                 14);
+  std::uint64_t snapshot_id = 1;
+  for (const double p : {0.05, 0.10, 0.15, 0.20, 0.25}) {
+    // Fresh servers per point so each point deduplicates exactly one
+    // snapshot against one baseline image, like the paper's per-probability
+    // measurements.
+    BackupServer cpu(server_config(ChunkerBackend::kPthreadsCpu));
+    BackupServer gpu(server_config(ChunkerBackend::kShredderGpu));
+    BackupAgent cpu_agent, gpu_agent;
+    const auto base = repo.snapshot(0.0, snapshot_id);
+    cpu.backup_image("base", as_bytes(base), repo, cpu_agent);
+    gpu.backup_image("base", as_bytes(base), repo, gpu_agent);
+    const auto snap = repo.snapshot(p, snapshot_id + 1000);
+    const auto cpu_stats = cpu.backup_image("snap", as_bytes(snap), repo,
+                                            cpu_agent);
+    const auto gpu_stats = gpu.backup_image("snap", as_bytes(snap), repo,
+                                            gpu_agent);
+    snapshot_id += 2;
+    t.add_row(
+        {TablePrinter::fmt(p, 2),
+         TablePrinter::fmt(cpu_stats.backup_bandwidth_gbps, 2) + " Gbps",
+         TablePrinter::fmt(gpu_stats.backup_bandwidth_gbps, 2) + " Gbps",
+         TablePrinter::fmt(100.0 * static_cast<double>(gpu_stats.unique_bytes) /
+                               static_cast<double>(gpu_stats.bytes),
+                           1) +
+             "%",
+         std::to_string(gpu_stats.duplicate_chunks) + "/" +
+             std::to_string(gpu_stats.chunks),
+         cpu_stats.verified && gpu_stats.verified ? "yes" : "NO"});
+  }
+  t.print();
+  std::printf("(64 MB images, 1 MB similarity segments, 4 KB expected chunks "
+              "with min 2 KB / max 16 KB, 10 Gb/s generation rate; every "
+              "backup reconstructed and verified at the backup site)\n");
+  return 0;
+}

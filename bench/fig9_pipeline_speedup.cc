@@ -1,0 +1,73 @@
+// Figure 9 — speedup of the multi-stage streaming pipeline (§4.2) over
+// fully serialized execution, admitting 2, 3 or 4 buffers to the pipeline.
+//
+// Per-buffer stage durations (Reader -> Transfer -> Kernel -> Store) come
+// from real runs under the C2050 model; speedup(k) = serialized makespan /
+// pipelined makespan with k in-flight buffers over a 1 GB stream.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "core/shredder.h"
+#include "gpusim/timeline.h"
+
+int main() {
+  using namespace shredder;
+  using namespace shredder::core;
+  bench::print_header(
+      "F9", "Figure 9: streaming-pipeline speedup (2/3/4 stages admitted)",
+      "speedup grows with admitted stages but the full 4-stage pipeline "
+      "reaches ~2x, not 4x, because stage costs are unequal "
+      "(kernel and reader dominate)");
+
+  TablePrinter t({"BufferSize", "2-Staged", "3-Staged", "4-Staged",
+                  "Bottleneck"},
+                 13);
+  const std::uint64_t total = 1ull << 30;
+  for (const auto buffer : bench::paper_buffer_sweep()) {
+    ShredderConfig cfg;
+    cfg.buffer_bytes = buffer;
+    cfg.mode = GpuMode::kStreams;
+    cfg.kernel.coalesced = false;  // the §4.2-era kernel, as in the figure
+    Shredder shredder(cfg);
+    const std::uint64_t sample_bytes = std::min<std::uint64_t>(
+        total, std::max<std::uint64_t>(3 * buffer, 128ull << 20));
+    SyntheticSource source(sample_bytes, 21, cfg.host.reader_bw);
+    const auto result = shredder.run(source);
+    const auto& m = result.mean_stage_seconds;
+    const std::vector<double> stages = {m.reader, m.transfer, m.kernel,
+                                        m.store};
+    const auto n = static_cast<std::uint64_t>(total / buffer);
+    const double serial = gpu::pipeline_makespan(stages, n, 1);
+    std::vector<std::string> row = {bench::mb_label(buffer)};
+    for (std::size_t slots = 2; slots <= 4; ++slots) {
+      const double pipelined = gpu::pipeline_makespan(stages, n, slots);
+      row.push_back(TablePrinter::fmt(serial / pipelined, 2));
+    }
+    const char* names[] = {"reader", "transfer", "kernel", "store"};
+    std::size_t bottleneck = 0;
+    for (std::size_t s = 1; s < stages.size(); ++s) {
+      if (stages[s] > stages[bottleneck]) bottleneck = s;
+    }
+    row.push_back(names[bottleneck]);
+    t.add_row(row);
+  }
+  t.print();
+  std::printf("(speedup = serialized / pipelined makespan over a 1 GB "
+              "stream)\n");
+
+  // Under the C2050 calibration the kernel stage holds >50% of the total,
+  // so two in-flight buffers already keep the bottleneck busy and 2/3/4
+  // admissions coincide. The graded separation of the paper's figure
+  // emerges whenever stage costs are comparable (e.g. a host doing real
+  // store-side I/O); demonstrated here with balanced stages:
+  const std::vector<double> balanced = {1.0, 1.0, 1.0, 1.0};
+  std::printf("\nbalanced-stage sensitivity (equal stage costs, 64 buffers): ");
+  const double serial_b = gpu::pipeline_makespan(balanced, 64, 1);
+  for (std::size_t slots = 2; slots <= 4; ++slots) {
+    std::printf("%zu-staged %.2fx  ", slots,
+                serial_b / gpu::pipeline_makespan(balanced, 64, slots));
+  }
+  std::printf("\n");
+  return 0;
+}

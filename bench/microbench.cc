@@ -1,0 +1,163 @@
+// Primitive micro-benchmarks (google-benchmark): the building blocks whose
+// costs the figure benches compose — Rabin window pushes, the canonical
+// scanner, parallel chunking, min/max filtering, baseline chunkers, SHA
+// hashing and the dedup index.
+#include <benchmark/benchmark.h>
+
+#include "chunking/cdc.h"
+#include "chunking/fixed.h"
+#include "chunking/minmax.h"
+#include "chunking/parallel.h"
+#include "chunking/samplebyte.h"
+#include "common/rng.h"
+#include "dedup/index.h"
+#include "dedup/sha1.h"
+#include "dedup/sha256.h"
+
+namespace {
+
+using namespace shredder;
+
+const ByteVec& payload() {
+  static const ByteVec data = random_bytes(8ull << 20, 77);
+  return data;
+}
+
+chunking::ChunkerConfig default_config() {
+  chunking::ChunkerConfig c;
+  c.window = 48;
+  c.mask_bits = 13;
+  c.marker = 0x78;
+  return c;
+}
+
+void BM_RabinWindowPush(benchmark::State& state) {
+  const rabin::RabinTables tables(48);
+  rabin::RabinWindow window(tables);
+  const auto& data = payload();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(window.push(data[i]));
+    i = (i + 1) & ((1 << 20) - 1);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RabinWindowPush);
+
+void BM_SerialScan(benchmark::State& state) {
+  const auto config = default_config();
+  const rabin::RabinTables tables(config.window);
+  const ByteSpan data = as_bytes(payload());
+  for (auto _ : state) {
+    std::uint64_t count = 0;
+    chunking::scan_raw(tables, config, data, 0, 0,
+                       [&](std::uint64_t, std::uint64_t) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_SerialScan);
+
+void BM_ParallelChunker(benchmark::State& state) {
+  const auto config = default_config();
+  const rabin::RabinTables tables(config.window);
+  chunking::ParallelChunker chunker(
+      tables, config, static_cast<std::size_t>(state.range(0)));
+  const ByteSpan data = as_bytes(payload());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chunker.chunk(data));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_ParallelChunker)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_SampleByte(benchmark::State& state) {
+  const chunking::SampleByteChunker chunker(8192, 16, 3);
+  const ByteSpan data = as_bytes(payload());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chunker.boundaries(data));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_SampleByte);
+
+void BM_FixedChunking(benchmark::State& state) {
+  const ByteSpan data = as_bytes(payload());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chunking::chunk_fixed(data, 8192));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_FixedChunking);
+
+void BM_MinMaxFilter(benchmark::State& state) {
+  // Typical raw boundary stream: ~8 KB spacing over 64 MB.
+  std::vector<std::uint64_t> raw;
+  SplitMix64 rng(5);
+  std::uint64_t pos = 0;
+  while (pos < (64ull << 20)) {
+    pos += 1 + rng.next_below(16384);
+    raw.push_back(pos);
+  }
+  const std::uint64_t total = pos + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        chunking::apply_min_max(raw, total, 2048, 16384));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(raw.size()));
+}
+BENCHMARK(BM_MinMaxFilter);
+
+void BM_Sha1(benchmark::State& state) {
+  const ByteSpan data = as_bytes(payload()).first(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dedup::Sha1::hash(data));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_Sha256(benchmark::State& state) {
+  const ByteSpan data = as_bytes(payload()).first(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dedup::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(4096)->Arg(65536);
+
+void BM_ChunkIndexLookup(benchmark::State& state) {
+  dedup::ChunkIndex index(0.0);
+  std::vector<dedup::Sha1Digest> digests;
+  for (int i = 0; i < 10000; ++i) {
+    const auto d = dedup::Sha1::hash(
+        ByteSpan{reinterpret_cast<const std::uint8_t*>(&i), sizeof(i)});
+    digests.push_back(d);
+    index.lookup_or_insert(d, {static_cast<std::uint64_t>(i), 4096});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.lookup(digests[i % digests.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChunkIndexLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

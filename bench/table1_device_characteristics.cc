@@ -1,0 +1,75 @@
+// Table 1 — performance characteristics of the (simulated) GPU.
+//
+// Prints the calibrated DeviceSpec parameters in the paper's format plus
+// derived probes from the actual models (effective DMA bandwidth at large
+// buffers, device-memory streaming bandwidth), so the calibration is
+// auditable against Table 1 of the paper.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "gpusim/dma.h"
+#include "gpusim/dram.h"
+#include "gpusim/spec.h"
+
+int main() {
+  using namespace shredder;
+  using namespace shredder::gpu;
+  bench::print_header(
+      "T1", "Table 1: performance characteristics of the GPU (Tesla C2050)",
+      "processing 1030 GFlops; reader 2 GB/s; H2D 5.406 GB/s; D2H 5.129 GB/s; "
+      "device-memory latency 400-600 cycles; device bandwidth 144 GB/s; "
+      "shared memory ~L1 latency");
+
+  const DeviceSpec spec;
+  const HostSpec host;
+
+  TablePrinter t({"Parameter", "Value"}, 42);
+  t.add_row({"GPU processing capacity",
+             std::to_string(spec.total_sps()) + " SPs @ " +
+                 TablePrinter::fmt(spec.clock_hz / 1e9, 2) + " GHz (" +
+                 TablePrinter::fmt(2.0 * spec.total_sps() * spec.clock_hz / 1e9,
+                                   0) +
+                 " GFlops FMA)"});
+  t.add_row({"Reader (I/O) bandwidth",
+             TablePrinter::fmt(host.reader_bw / 1e9, 3) + " GB/s"});
+  t.add_row({"Host-to-device bandwidth (pinned, 64MB)",
+             TablePrinter::fmt(dma_effective_bw(spec, 64ull << 20,
+                                                Direction::kHostToDevice,
+                                                HostMemKind::kPinned) /
+                                   1e9,
+                               3) +
+                 " GB/s"});
+  t.add_row({"Device-to-host bandwidth (pinned, 64MB)",
+             TablePrinter::fmt(dma_effective_bw(spec, 64ull << 20,
+                                                Direction::kDeviceToHost,
+                                                HostMemKind::kPinned) /
+                                   1e9,
+                               3) +
+                 " GB/s"});
+  t.add_row({"Device memory latency",
+             std::to_string(spec.mem_latency_cycles) + " cycles (400-600)"});
+  t.add_row({"Device memory peak bandwidth",
+             TablePrinter::fmt(spec.mem_clock_bw / 1e9, 0) + " GB/s (" +
+                 std::to_string(spec.mem_channels) + " channels x " +
+                 std::to_string(spec.banks_per_channel) + " banks, " +
+                 std::to_string(spec.row_bytes) + " B rows)"});
+  t.add_row({"Shared memory", std::to_string(spec.shared_mem_per_sm / 1024) +
+                                  " KB per SM, L1-class latency"});
+  t.add_row({"Global memory", bench::mb_label(spec.global_mem_bytes)});
+  t.print();
+
+  // Derived probe: streaming device-memory bandwidth achieved by a single
+  // sequential reader (coalesced bursts, almost no row switches).
+  const double seq_fraction = estimate_row_switch_fraction(spec, 1, 128);
+  const double seq_seconds = dram_time_seconds(
+      spec, (1ull << 30) / spec.burst_bytes, seq_fraction);
+  std::printf("\nderived: sequential device-memory stream: %.1f GB/s "
+              "(row-switch fraction %.4f)\n",
+              1.0 / seq_seconds, seq_fraction);
+  const double conflicted = dram_time_seconds(
+      spec, (1ull << 30) / spec.burst_bytes, 1.0);
+  std::printf("derived: fully bank-conflicted stream:     %.1f GB/s\n",
+              1.0 / conflicted);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// WAN redundancy-elimination middlebox scenario (paper §9 future work).
+//
+// A nightly replication job ships a dataset across a WAN link bracketed by
+// a pair of Shredder-powered middleboxes. Each night a few percent of the
+// dataset changes; the sender tokenizes previously-seen chunks and the
+// receiver reconstructs the byte stream exactly.
+//
+//   ./wan_middlebox [megabytes] [nights]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "redelim/middlebox.h"
+
+int main(int argc, char** argv) {
+  using namespace shredder;
+  using namespace shredder::redelim;
+  const std::uint64_t megabytes =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 32;
+  const int nights = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  core::ShredderConfig cfg;
+  cfg.chunker.mask_bits = 13;  // ~8 KB chunks
+  cfg.chunker.min_size = 2 * 1024;
+  cfg.chunker.max_size = 64 * 1024;
+  cfg.buffer_bytes = 8ull << 20;
+  core::Shredder shredder(cfg);
+
+  SenderMiddlebox sender(shredder, 256ull << 20);
+  ReceiverMiddlebox receiver(256ull << 20);
+
+  ByteVec dataset = random_bytes(megabytes << 20, 23);
+  SplitMix64 rng(29);
+  std::uint64_t raw_total = 0, wire_total = 0;
+  std::printf("replicating %s nightly over the middlebox pair...\n\n",
+              human_bytes(dataset.size()).c_str());
+  for (int night = 0; night < nights; ++night) {
+    const auto encoded = sender.encode(as_bytes(dataset));
+    const auto decoded = receiver.decode(encoded);
+    const bool ok = decoded == dataset;
+    raw_total += encoded.input_bytes;
+    wire_total += encoded.wire_bytes;
+    std::printf("night %d: %s on the wire (%.1f%% saved, %llu/%zu tokens) "
+                "— receiver copy %s\n",
+                night, human_bytes(encoded.wire_bytes).c_str(),
+                100.0 * encoded.savings(),
+                static_cast<unsigned long long>(encoded.tokens),
+                encoded.segments.size(), ok ? "verified" : "CORRUPT");
+    // ~3% of the dataset changes before the next replication.
+    dataset = mutate_bytes(as_bytes(dataset), 0.03, rng.next());
+  }
+  std::printf("\ntotal: %s shipped instead of %s (%.1fx bandwidth "
+              "reduction)\n",
+              human_bytes(wire_total).c_str(), human_bytes(raw_total).c_str(),
+              static_cast<double>(raw_total) / static_cast<double>(wire_total));
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "backup/agent.h"
+
+#include <stdexcept>
+
+namespace shredder::backup {
+
+void BackupAgent::begin_image(const std::string& image_id) {
+  auto [it, inserted] = recipes_.try_emplace(image_id);
+  if (!inserted) {
+    throw std::invalid_argument("BackupAgent: image exists: " + image_id);
+  }
+}
+
+void BackupAgent::receive(const std::string& image_id,
+                          const Message& message) {
+  const auto it = recipes_.find(image_id);
+  if (it == recipes_.end()) {
+    throw std::invalid_argument("BackupAgent: unknown image: " + image_id);
+  }
+  if (message.payload.empty()) {
+    if (!store_.add_ref(message.digest)) {
+      throw std::invalid_argument(
+          "BackupAgent: pointer to unknown chunk (protocol violation)");
+    }
+  } else {
+    store_.put(message.digest, as_bytes(message.payload));
+  }
+  it->second.push_back(message.digest);
+}
+
+ByteVec BackupAgent::recreate(const std::string& image_id) const {
+  const auto it = recipes_.find(image_id);
+  if (it == recipes_.end()) {
+    throw std::invalid_argument("BackupAgent: unknown image: " + image_id);
+  }
+  ByteVec out;
+  for (const auto& digest : it->second) {
+    const auto chunk = store_.get(digest);
+    if (!chunk.has_value()) {
+      throw std::runtime_error("BackupAgent: missing chunk during recreate");
+    }
+    out.insert(out.end(), chunk->begin(), chunk->end());
+  }
+  return out;
+}
+
+}  // namespace shredder::backup

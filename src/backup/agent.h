@@ -1,0 +1,45 @@
+// Backup-site Shredder agent (paper §7.2): receives the stream of chunks
+// and pointers produced by the backup server, stores unique chunks in a
+// content-addressed store, and can recreate the original uncompressed image
+// from its recipe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "dedup/sha1.h"
+#include "dedup/store.h"
+
+namespace shredder::backup {
+
+class BackupAgent {
+ public:
+  // One element of the backup stream: a pointer (digest only) or a payload-
+  // carrying chunk.
+  struct Message {
+    dedup::Sha1Digest digest;
+    ByteVec payload;  // empty => pointer to an already-stored chunk
+  };
+
+  // Opens a new image recipe. Throws if the id is already known.
+  void begin_image(const std::string& image_id);
+
+  // Appends one chunk/pointer to the image. A pointer to an unknown digest
+  // throws std::invalid_argument (protocol violation by the server).
+  void receive(const std::string& image_id, const Message& message);
+
+  // Recreates the full image from its recipe.
+  ByteVec recreate(const std::string& image_id) const;
+
+  std::uint64_t unique_chunks() const { return store_.unique_chunks(); }
+  std::uint64_t unique_bytes() const { return store_.unique_bytes(); }
+
+ private:
+  dedup::ChunkStore store_;
+  std::map<std::string, std::vector<dedup::Sha1Digest>> recipes_;
+};
+
+}  // namespace shredder::backup

@@ -1,0 +1,55 @@
+#include "backup/image.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace shredder::backup {
+
+ImageRepository::ImageRepository(ImageRepoConfig config)
+    : config_(config) {
+  if (config_.image_bytes == 0 || config_.segment_bytes == 0) {
+    throw std::invalid_argument("ImageRepository: sizes must be positive");
+  }
+  if (config_.segment_bytes > config_.image_bytes) {
+    throw std::invalid_argument("ImageRepository: segment larger than image");
+  }
+  if (config_.generation_rate_bps <= 0) {
+    throw std::invalid_argument("ImageRepository: bad generation rate");
+  }
+  master_ = random_bytes(config_.image_bytes, config_.seed);
+}
+
+std::uint64_t ImageRepository::num_segments() const noexcept {
+  return (config_.image_bytes + config_.segment_bytes - 1) /
+         config_.segment_bytes;
+}
+
+ByteVec ImageRepository::snapshot(double change_probability,
+                                  std::uint64_t snapshot_id) const {
+  if (change_probability < 0.0 || change_probability > 1.0) {
+    throw std::invalid_argument("snapshot: probability in [0,1]");
+  }
+  ByteVec image = master_;
+  SplitMix64 rng(config_.seed ^ (snapshot_id * 0x9e3779b97f4a7c15ull));
+  const std::uint64_t segments = num_segments();
+  for (std::uint64_t s = 0; s < segments; ++s) {
+    if (rng.next_double() >= change_probability) continue;
+    const std::uint64_t begin = s * config_.segment_bytes;
+    const std::uint64_t end =
+        std::min(begin + config_.segment_bytes, config_.image_bytes);
+    // Replace the whole segment with fresh content (the paper's similarity
+    // table semantics: a segment is either shared or entirely different).
+    const auto fresh =
+        random_bytes(end - begin, rng.next() ^ (snapshot_id << 32 | s));
+    std::copy(fresh.begin(), fresh.end(),
+              image.begin() + static_cast<std::ptrdiff_t>(begin));
+  }
+  return image;
+}
+
+double ImageRepository::generation_seconds(std::uint64_t bytes) const noexcept {
+  return static_cast<double>(bytes) / config_.generation_rate_bps;
+}
+
+}  // namespace shredder::backup

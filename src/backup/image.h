@@ -1,0 +1,46 @@
+// VM-image workload for the cloud-backup case study (paper §7.3).
+//
+// Matching the paper's memory-driven emulation: a master image is divided
+// into segments; an image similarity table assigns each segment a
+// probability of being replaced by different content. The snapshot generator
+// produces per-VM images by sampling the table, at a modelled generation
+// rate of 10 Gb/s (the I/O rate of the backup servers the paper targets).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace shredder::backup {
+
+struct ImageRepoConfig {
+  std::uint64_t image_bytes = 64ull * 1024 * 1024;
+  std::uint64_t segment_bytes = 1ull * 1024 * 1024;
+  std::uint64_t seed = 42;
+  double generation_rate_bps = 10e9 / 8;  // 10 Gb/s in bytes/s
+};
+
+class ImageRepository {
+ public:
+  explicit ImageRepository(ImageRepoConfig config);
+
+  const ImageRepoConfig& config() const noexcept { return config_; }
+  ByteSpan master() const noexcept { return as_bytes(master_); }
+  std::uint64_t num_segments() const noexcept;
+
+  // A snapshot with each segment independently replaced with probability
+  // `change_probability` (the x-axis of Figure 18). Replacement content is
+  // fresh random data, deterministic in (seed, snapshot_id).
+  ByteVec snapshot(double change_probability, std::uint64_t snapshot_id) const;
+
+  // Modelled time for the backup agent to materialize `bytes` of snapshot
+  // data (the 10 Gb/s source).
+  double generation_seconds(std::uint64_t bytes) const noexcept;
+
+ private:
+  ImageRepoConfig config_;
+  ByteVec master_;
+};
+
+}  // namespace shredder::backup

@@ -1,0 +1,47 @@
+#include "chunking/arena.h"
+
+#include <stdexcept>
+
+namespace shredder::chunking {
+
+void* LockedHeapAllocator::allocate(std::size_t size) {
+  if (size == 0) throw std::invalid_argument("allocate: size 0");
+  std::lock_guard lock(mutex_);
+  blocks_.push_back(std::make_unique<std::byte[]>(size));
+  return blocks_.back().get();
+}
+
+ArenaAllocator::ArenaAllocator(std::size_t slab_size) : slab_size_(slab_size) {
+  if (slab_size == 0) throw std::invalid_argument("ArenaAllocator: slab 0");
+}
+
+void* ArenaAllocator::allocate(std::size_t size) {
+  if (size == 0) throw std::invalid_argument("allocate: size 0");
+  if (size > slab_size_) {
+    // Oversized allocations get their own slab.
+    slabs_.push_back(std::make_unique<std::byte[]>(size));
+    return slabs_.back().get();
+  }
+  // Align to 8 bytes.
+  used_ = (used_ + 7) & ~std::size_t{7};
+  if (slabs_.empty() || current_ >= slabs_.size() ||
+      used_ + size > slab_size_) {
+    if (current_ + 1 < slabs_.size()) {
+      ++current_;
+    } else {
+      slabs_.push_back(std::make_unique<std::byte[]>(slab_size_));
+      current_ = slabs_.size() - 1;
+    }
+    used_ = 0;
+  }
+  void* p = slabs_[current_].get() + used_;
+  used_ += size;
+  return p;
+}
+
+void ArenaAllocator::reset() noexcept {
+  current_ = 0;
+  used_ = 0;
+}
+
+}  // namespace shredder::chunking

@@ -1,0 +1,59 @@
+// Allocators used by the parallel host chunker (paper §5.1).
+//
+// The paper found that per-chunk dynamic allocation serialises the pthreads
+// chunker and switched to the Hoard allocator. We reproduce the contrast
+// with two allocation strategies behind one interface:
+//   * LockedHeapAllocator — a deliberately global-locked heap ("malloc" as it
+//     behaves under contention in a 2011 glibc),
+//   * ArenaAllocator      — a per-thread slab arena (the Hoard substitution:
+//     thread-local allocation, no shared lock on the hot path).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace shredder::chunking {
+
+// Interface: bump-allocates `size`-byte blocks. Memory lives until the
+// allocator is destroyed (chunk records are gathered before that).
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+  virtual void* allocate(std::size_t size) = 0;
+};
+
+// Global-locked heap: every allocation takes a shared mutex, modelling a
+// serialising malloc under multithreaded load.
+class LockedHeapAllocator final : public Allocator {
+ public:
+  void* allocate(std::size_t size) override;
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+};
+
+// Per-thread slab arena ("Hoard-like"): lock-free within a thread.
+// Not thread-safe — create one per worker thread.
+class ArenaAllocator final : public Allocator {
+ public:
+  explicit ArenaAllocator(std::size_t slab_size = 1 << 20);
+
+  void* allocate(std::size_t size) override;
+
+  // Releases everything (slabs retained for reuse).
+  void reset() noexcept;
+
+  std::size_t slabs_allocated() const noexcept { return slabs_.size(); }
+
+ private:
+  std::size_t slab_size_;
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::size_t current_ = 0;   // slab index
+  std::size_t used_ = 0;      // bytes used in current slab
+};
+
+}  // namespace shredder::chunking

@@ -1,0 +1,114 @@
+// Content-defined chunking: the canonical scanner.
+//
+// All chunking backends in the repository (serial, parallel CPU, GPU basic
+// kernel, GPU coalesced kernel) share one inner loop — StreamScanner — so
+// their raw boundary streams are bit-identical by construction, and min/max
+// handling composes as a separate pass (chunking/minmax.h) exactly like the
+// paper's Store thread does (§3.1, §7.3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "chunking/chunk.h"
+#include "common/bytes.h"
+#include "rabin/rabin.h"
+
+namespace shredder::chunking {
+
+// Maximum supported sliding-window size (bounds the stack ring buffer).
+inline constexpr std::size_t kMaxWindow = 256;
+
+// Incremental raw-boundary scanner. Feed bytes in any granularity; emits
+// `emit(end, fp)` for every raw boundary, where `end` is the absolute end
+// offset of the window whose fingerprint matched.
+//
+//  - `base`   : absolute stream offset of the first byte that will be fed.
+//  - `warmup` : number of leading bytes that only warm the window; boundaries
+//               ending at or before base + warmup are not emitted. A parallel
+//               worker passes the w-1 bytes preceding its region here.
+//
+// A boundary is emitted only once the window is completely full, so the first
+// w-1 positions of the whole stream can never produce a boundary — matching
+// serial semantics regardless of how the stream is partitioned or fed.
+class StreamScanner {
+ public:
+  StreamScanner(const rabin::RabinTables& tables, const ChunkerConfig& config,
+                std::uint64_t base = 0, std::uint64_t warmup = 0)
+      : tables_(&tables),
+        mask_(config.boundary_mask()),
+        marker_(config.marker),
+        next_pos_(base),
+        emit_after_(base + warmup) {
+    config.validate();
+  }
+
+  // Absolute offset of the next byte to be fed.
+  std::uint64_t position() const noexcept { return next_pos_; }
+
+  template <typename Emit>
+  void feed(ByteSpan data, Emit&& emit) {
+    const std::size_t w = tables_->window();
+    // Local copies of the hot state for the inner loop.
+    std::uint64_t fp = fp_;
+    std::size_t pos = pos_;
+    std::size_t filled = filled_;
+    std::uint64_t at = next_pos_;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const std::uint8_t b = data[i];
+      if (filled == w) {
+        fp = tables_->pop(fp, ring_[pos]);
+      } else {
+        ++filled;
+      }
+      ring_[pos] = b;
+      pos = pos + 1 == w ? 0 : pos + 1;
+      fp = tables_->push(fp, b);
+      ++at;
+      if (filled == w && (fp & mask_) == marker_ && at > emit_after_) {
+        emit(at, fp);
+      }
+    }
+    fp_ = fp;
+    pos_ = pos;
+    filled_ = filled;
+    next_pos_ = at;
+  }
+
+ private:
+  const rabin::RabinTables* tables_;
+  std::uint64_t mask_;
+  std::uint64_t marker_;
+  std::array<std::uint8_t, kMaxWindow> ring_{};
+  std::uint64_t fp_ = 0;
+  std::size_t pos_ = 0;
+  std::size_t filled_ = 0;
+  std::uint64_t next_pos_;
+  std::uint64_t emit_after_;
+};
+
+// One-shot scan of `data` located at absolute offset `base`, with the first
+// `warmup` bytes warming the window only.
+template <typename Emit>
+void scan_raw(const rabin::RabinTables& tables, const ChunkerConfig& config,
+              ByteSpan data, std::size_t warmup, std::uint64_t base,
+              Emit&& emit) {
+  StreamScanner scanner(tables, config, base, warmup);
+  scanner.feed(data, emit);
+}
+
+// Raw boundaries (no min/max) of an in-memory buffer. End offsets are
+// strictly ascending and never include `data.size()` unless the final window
+// happens to match.
+std::vector<std::uint64_t> find_raw_boundaries(const rabin::RabinTables& tables,
+                                               const ChunkerConfig& config,
+                                               ByteSpan data);
+
+// Full serial content-defined chunking: raw scan + min/max post-pass +
+// final boundary at data.size(). This is the canonical output every other
+// backend must reproduce.
+std::vector<Chunk> chunk_serial(const rabin::RabinTables& tables,
+                                const ChunkerConfig& config, ByteSpan data);
+
+}  // namespace shredder::chunking

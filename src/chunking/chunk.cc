@@ -1,0 +1,31 @@
+#include "chunking/chunk.h"
+
+namespace shredder::chunking {
+
+std::vector<Chunk> boundaries_to_chunks(const std::vector<std::uint64_t>& ends,
+                                        std::uint64_t total) {
+  std::vector<Chunk> chunks;
+  if (total == 0) {
+    if (!ends.empty()) {
+      throw std::invalid_argument("boundaries_to_chunks: ends for empty data");
+    }
+    return chunks;
+  }
+  if (ends.empty() || ends.back() != total) {
+    throw std::invalid_argument(
+        "boundaries_to_chunks: final boundary must equal total size");
+  }
+  chunks.reserve(ends.size());
+  std::uint64_t last = 0;
+  for (std::uint64_t e : ends) {
+    if (e <= last || e > total) {
+      throw std::invalid_argument(
+          "boundaries_to_chunks: boundaries must be ascending and <= total");
+    }
+    chunks.push_back(Chunk{last, e - last});
+    last = e;
+  }
+  return chunks;
+}
+
+}  // namespace shredder::chunking

@@ -1,0 +1,71 @@
+// Chunk and chunker-configuration types shared by every chunking backend.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace shredder::chunking {
+
+// A chunk is the half-open byte range [offset, offset + size).
+struct Chunk {
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+
+  std::uint64_t end() const noexcept { return offset + size; }
+  friend bool operator==(const Chunk&, const Chunk&) = default;
+};
+
+// Configuration of the content-defined chunker.
+//
+// A boundary is declared after byte position e (an *end offset*) when the
+// Rabin fingerprint of the w-byte window ending at e satisfies
+// (fp & mask) == marker with mask = 2^mask_bits - 1. The paper uses w = 48
+// and the low-order 13 bits, giving an expected chunk size of
+// 2^mask_bits bytes between content markers.
+struct ChunkerConfig {
+  std::size_t window = 48;       // sliding-window size w, bytes
+  unsigned mask_bits = 13;       // number of low-order fingerprint bits tested
+  std::uint64_t marker = 0x78;   // value the masked fingerprint must equal
+  std::uint64_t min_size = 0;    // minimum chunk size; 0 = none
+  std::uint64_t max_size = 0;    // maximum chunk size; 0 = unbounded
+
+  std::uint64_t boundary_mask() const noexcept {
+    return (std::uint64_t{1} << mask_bits) - 1;
+  }
+  std::uint64_t expected_chunk_size() const noexcept {
+    return std::uint64_t{1} << mask_bits;
+  }
+  bool is_boundary_fp(std::uint64_t fp) const noexcept {
+    return (fp & boundary_mask()) == marker;
+  }
+
+  // Throws std::invalid_argument on inconsistent settings.
+  void validate() const {
+    if (window == 0 || window > 256) {
+      throw std::invalid_argument("ChunkerConfig: window must be in [1,256]");
+    }
+    if (mask_bits == 0 || mask_bits > 48) {
+      throw std::invalid_argument("ChunkerConfig: mask_bits must be in [1,48]");
+    }
+    if (marker > boundary_mask()) {
+      throw std::invalid_argument("ChunkerConfig: marker wider than mask");
+    }
+    if (max_size != 0 && min_size > max_size) {
+      throw std::invalid_argument("ChunkerConfig: min_size > max_size");
+    }
+    if (max_size != 0 && max_size < window) {
+      throw std::invalid_argument("ChunkerConfig: max_size < window");
+    }
+  }
+};
+
+// Converts ascending boundary end-offsets (each <= total, strictly
+// increasing, final element total unless total == 0) into chunks covering
+// [0, total). Throws std::invalid_argument if the list is malformed.
+std::vector<Chunk> boundaries_to_chunks(const std::vector<std::uint64_t>& ends,
+                                        std::uint64_t total);
+
+}  // namespace shredder::chunking

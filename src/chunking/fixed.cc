@@ -1,0 +1,19 @@
+#include "chunking/fixed.h"
+
+#include <stdexcept>
+
+namespace shredder::chunking {
+
+std::vector<Chunk> chunk_fixed(std::uint64_t total, std::uint64_t chunk_size) {
+  if (chunk_size == 0) {
+    throw std::invalid_argument("chunk_fixed: chunk_size must be > 0");
+  }
+  std::vector<Chunk> chunks;
+  chunks.reserve(static_cast<std::size_t>(total / chunk_size) + 1);
+  for (std::uint64_t off = 0; off < total; off += chunk_size) {
+    chunks.push_back(Chunk{off, std::min(chunk_size, total - off)});
+  }
+  return chunks;
+}
+
+}  // namespace shredder::chunking

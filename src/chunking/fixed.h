@@ -1,0 +1,25 @@
+// Fixed-size chunking baseline.
+//
+// This is what stock HDFS does (paper §6.2) and what Shredder's content-based
+// chunking replaces: boundaries at multiples of `chunk_size` regardless of
+// content, so a single-byte insertion shifts every later boundary and defeats
+// deduplication.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chunking/chunk.h"
+#include "common/bytes.h"
+
+namespace shredder::chunking {
+
+// Splits [0, total) into `chunk_size`-byte chunks (last one may be short).
+// Throws std::invalid_argument if chunk_size == 0.
+std::vector<Chunk> chunk_fixed(std::uint64_t total, std::uint64_t chunk_size);
+
+inline std::vector<Chunk> chunk_fixed(ByteSpan data, std::uint64_t chunk_size) {
+  return chunk_fixed(data.size(), chunk_size);
+}
+
+}  // namespace shredder::chunking

@@ -1,0 +1,67 @@
+#include "chunking/minmax.h"
+
+namespace shredder::chunking {
+
+MinMaxFilter::MinMaxFilter(std::uint64_t min_size, std::uint64_t max_size,
+                           EmitFn emit)
+    : min_size_(min_size), max_size_(max_size), emit_(std::move(emit)) {
+  if (max_size != 0 && min_size > max_size) {
+    throw std::invalid_argument("MinMaxFilter: min_size > max_size");
+  }
+  if (!emit_) throw std::invalid_argument("MinMaxFilter: emit required");
+}
+
+void MinMaxFilter::force_up_to(std::uint64_t target) {
+  if (max_size_ == 0) return;
+  while (target - last_ > max_size_) {
+    last_ += max_size_;
+    emit_(last_);
+  }
+}
+
+void MinMaxFilter::push(std::uint64_t b) {
+  if (finished_) throw std::invalid_argument("MinMaxFilter: already finished");
+  if (b <= prev_raw_ && prev_raw_ != 0) {
+    throw std::invalid_argument("MinMaxFilter: raw not strictly ascending");
+  }
+  prev_raw_ = b;
+  // Force max-size boundaries in the gap before this raw boundary.
+  force_up_to(b);
+  // Discard boundaries inside the minimum-size skip region.
+  if (b - last_ < min_size_ || b == last_) return;
+  last_ = b;
+  emit_(last_);
+}
+
+void MinMaxFilter::finish(std::uint64_t total) {
+  if (finished_) throw std::invalid_argument("MinMaxFilter: already finished");
+  if (total < prev_raw_) {
+    throw std::invalid_argument("MinMaxFilter: total below last boundary");
+  }
+  finished_ = true;
+  if (total == 0) return;
+  force_up_to(total);
+  if (last_ != total) {
+    last_ = total;
+    emit_(total);
+  }
+}
+
+std::vector<std::uint64_t> apply_min_max(const std::vector<std::uint64_t>& raw,
+                                         std::uint64_t total,
+                                         std::uint64_t min_size,
+                                         std::uint64_t max_size) {
+  std::vector<std::uint64_t> ends;
+  MinMaxFilter filter(min_size, max_size,
+                      [&](std::uint64_t end) { ends.push_back(end); });
+  for (std::uint64_t b : raw) {
+    if (b > total) {
+      throw std::invalid_argument("apply_min_max: boundary beyond total");
+    }
+    filter.push(b);
+  }
+  filter.finish(total);
+  return ends;
+}
+
+}  // namespace shredder::chunking

@@ -1,0 +1,117 @@
+#include "chunking/parallel.h"
+
+#include <algorithm>
+
+#include "chunking/minmax.h"
+#include "common/timer.h"
+
+namespace shredder::chunking {
+
+namespace {
+
+// Per-chunk record node, allocated via the configured Allocator to exercise
+// allocator behaviour under contention (the phenomenon §5.1 is about).
+struct BoundaryNode {
+  std::uint64_t end;
+  BoundaryNode* next;
+};
+
+}  // namespace
+
+ParallelChunker::ParallelChunker(const rabin::RabinTables& tables,
+                                 ChunkerConfig config, std::size_t threads,
+                                 AllocMode alloc_mode)
+    : tables_(tables),
+      config_(config),
+      alloc_mode_(alloc_mode),
+      pool_(threads) {
+  config_.validate();
+  if (config_.window != tables.window()) {
+    throw std::invalid_argument(
+        "ParallelChunker: config window differs from Rabin tables window");
+  }
+}
+
+std::vector<std::uint64_t> ParallelChunker::raw_boundaries(ByteSpan data) {
+  const std::size_t n = data.size();
+  const std::size_t parts = std::max<std::size_t>(1, pool_.size());
+  const std::size_t w = tables_.window();
+
+  // Per-region boundary lists (linked nodes through the allocator, then
+  // flattened). Regions are contiguous; region r covers scan indices
+  // [r*len, min((r+1)*len, n)).
+  struct RegionOut {
+    BoundaryNode* head = nullptr;
+    BoundaryNode* tail = nullptr;
+    std::uint64_t count = 0;
+  };
+  std::vector<RegionOut> regions(parts);
+  LockedHeapAllocator shared_heap;
+  std::vector<std::unique_ptr<ArenaAllocator>> arenas;
+  if (alloc_mode_ == AllocMode::kThreadArena) {
+    arenas.reserve(parts);
+    for (std::size_t i = 0; i < parts; ++i) {
+      arenas.push_back(std::make_unique<ArenaAllocator>());
+    }
+  }
+
+  Stopwatch scan_watch;
+  pool_.for_each_index(parts, [&](std::size_t r) {
+    const std::size_t len = (n + parts - 1) / parts;
+    const std::size_t begin = r * len;
+    const std::size_t end = std::min(n, begin + len);
+    if (begin >= end) return;
+    // Warm the window with up to w-1 preceding bytes so raw boundaries are
+    // identical to a serial scan.
+    const std::size_t warm = std::min(begin, w - 1);
+    ByteSpan slice = data.subspan(begin - warm, (end - begin) + warm);
+    Allocator* alloc = alloc_mode_ == AllocMode::kThreadArena
+                           ? static_cast<Allocator*>(arenas[r].get())
+                           : static_cast<Allocator*>(&shared_heap);
+    RegionOut& out = regions[r];
+    scan_raw(tables_, config_, slice, warm,
+             /*base=*/static_cast<std::uint64_t>(begin - warm),
+             [&](std::uint64_t e, std::uint64_t) {
+               auto* node = static_cast<BoundaryNode*>(
+                   alloc->allocate(sizeof(BoundaryNode)));
+               node->end = e;
+               node->next = nullptr;
+               if (out.tail == nullptr) {
+                 out.head = out.tail = node;
+               } else {
+                 out.tail->next = node;
+                 out.tail = node;
+               }
+               ++out.count;
+             });
+  });
+  stats_.scan_seconds = scan_watch.elapsed_seconds();
+  stats_.bytes_scanned = n;
+
+  // Merge: regions are in stream order and internally ascending.
+  Stopwatch merge_watch;
+  std::uint64_t total_count = 0;
+  for (const auto& r : regions) total_count += r.count;
+  std::vector<std::uint64_t> raw;
+  raw.reserve(static_cast<std::size_t>(total_count));
+  for (const auto& r : regions) {
+    for (BoundaryNode* node = r.head; node != nullptr; node = node->next) {
+      raw.push_back(node->end);
+    }
+  }
+  stats_.merge_seconds = merge_watch.elapsed_seconds();
+  stats_.raw_boundaries = raw.size();
+  return raw;
+}
+
+std::vector<Chunk> ParallelChunker::chunk(ByteSpan data) {
+  auto raw = raw_boundaries(data);
+  Stopwatch merge_watch;
+  auto ends =
+      apply_min_max(raw, data.size(), config_.min_size, config_.max_size);
+  auto chunks = boundaries_to_chunks(ends, data.size());
+  stats_.merge_seconds += merge_watch.elapsed_seconds();
+  return chunks;
+}
+
+}  // namespace shredder::chunking

@@ -1,0 +1,51 @@
+#include "chunking/samplebyte.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace shredder::chunking {
+
+SampleByteChunker::SampleByteChunker(std::uint64_t expected_size,
+                                     unsigned marker_bytes, std::uint64_t seed)
+    : expected_size_(expected_size), skip_(expected_size / 2) {
+  if (expected_size < 2) {
+    throw std::invalid_argument("SampleByteChunker: expected_size >= 2");
+  }
+  if (marker_bytes == 0 || marker_bytes > 256) {
+    throw std::invalid_argument("SampleByteChunker: marker_bytes in [1,256]");
+  }
+  SplitMix64 rng(seed);
+  unsigned placed = 0;
+  while (placed < marker_bytes) {
+    const auto b = static_cast<std::size_t>(rng.next_below(256));
+    if (!is_marker_[b]) {
+      is_marker_[b] = true;
+      ++placed;
+    }
+  }
+}
+
+std::vector<std::uint64_t> SampleByteChunker::boundaries(ByteSpan data) const {
+  std::vector<std::uint64_t> ends;
+  const std::uint64_t n = data.size();
+  if (n == 0) return ends;
+  std::uint64_t i = 0;
+  while (i < n) {
+    if (is_marker_[data[static_cast<std::size_t>(i)]]) {
+      const std::uint64_t end = std::min<std::uint64_t>(i + 1, n);
+      ends.push_back(end);
+      i = end + skip_;  // skip p/2 bytes after a boundary (EndRE)
+    } else {
+      ++i;
+    }
+  }
+  if (ends.empty() || ends.back() != n) ends.push_back(n);
+  return ends;
+}
+
+std::vector<Chunk> SampleByteChunker::chunk(ByteSpan data) const {
+  return boundaries_to_chunks(boundaries(data), data.size());
+}
+
+}  // namespace shredder::chunking

@@ -1,0 +1,44 @@
+// SampleByte-style sampling chunker (EndRE, NSDI'10) — the fast-but-lossy
+// alternative the paper argues against for large chunks (§1, §2.1).
+//
+// Instead of fingerprinting a window at every position, SampleByte declares a
+// boundary whenever a *single byte* is in a 256-entry marker set, then skips
+// half the target chunk size. One table lookup per byte (and big skips) make
+// it much faster than Rabin, but sampling misses dedup opportunities as
+// chunks grow — which is why Shredder keeps Rabin and accelerates it instead.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "chunking/chunk.h"
+#include "common/bytes.h"
+
+namespace shredder::chunking {
+
+class SampleByteChunker {
+ public:
+  // `expected_size`: target average chunk size; the skip is expected_size/2
+  // as in EndRE. `marker_bytes`: how many of the 256 byte values mark a
+  // boundary (EndRE derived them from training; we pick them pseudo-randomly
+  // from `seed`). Throws std::invalid_argument on zero arguments.
+  SampleByteChunker(std::uint64_t expected_size, unsigned marker_bytes,
+                    std::uint64_t seed);
+
+  // Boundary end-offsets (ascending, final element data.size()).
+  std::vector<std::uint64_t> boundaries(ByteSpan data) const;
+
+  std::vector<Chunk> chunk(ByteSpan data) const;
+
+  // Fraction of positions actually inspected in the last call is implied by
+  // construction: roughly 2/expected_size of bytes are fingerprinted.
+  std::uint64_t skip() const noexcept { return skip_; }
+
+ private:
+  std::uint64_t expected_size_;
+  std::uint64_t skip_;
+  std::array<bool, 256> is_marker_{};
+};
+
+}  // namespace shredder::chunking

@@ -1,0 +1,40 @@
+#include "common/bytes.h"
+
+#include <array>
+#include <cstdio>
+
+namespace shredder {
+
+std::string human_bytes(std::uint64_t n) {
+  static constexpr std::array<const char*, 5> kUnits = {"B", "KB", "MB", "GB",
+                                                        "TB"};
+  double value = static_cast<double>(n);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(n));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string human_rate(double bytes_per_sec) {
+  static constexpr std::array<const char*, 4> kUnits = {"B/s", "KB/s", "MB/s",
+                                                        "GB/s"};
+  double value = bytes_per_sec;
+  std::size_t unit = 0;
+  while (value >= 1000.0 && unit + 1 < kUnits.size()) {
+    value /= 1000.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g %s", value, kUnits[unit]);
+  return buf;
+}
+
+}  // namespace shredder

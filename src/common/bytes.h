@@ -1,0 +1,38 @@
+// Byte-buffer helpers shared across modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace shredder {
+
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+using ByteVec = std::vector<std::uint8_t>;
+
+inline ByteSpan as_bytes(const std::string& s) noexcept {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+inline ByteSpan as_bytes(const ByteVec& v) noexcept { return {v.data(), v.size()}; }
+
+// "16 MB" style rendering for logs/benches (binary units).
+std::string human_bytes(std::uint64_t n);
+
+// "1.23 GB/s" rendering of a byte rate.
+std::string human_rate(double bytes_per_sec);
+
+inline constexpr std::uint64_t operator"" _KiB(unsigned long long v) {
+  return v * 1024ull;
+}
+inline constexpr std::uint64_t operator"" _MiB(unsigned long long v) {
+  return v * 1024ull * 1024ull;
+}
+inline constexpr std::uint64_t operator"" _GiB(unsigned long long v) {
+  return v * 1024ull * 1024ull * 1024ull;
+}
+
+}  // namespace shredder

@@ -1,0 +1,19 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace shredder {
+
+void check_failed(const char* expr, const char* file, int line,
+                  std::string_view message) {
+  std::fprintf(stderr, "SHREDDER_CHECK failed: %s at %s:%d", expr, file, line);
+  if (!message.empty()) {
+    std::fprintf(stderr, " — %.*s", static_cast<int>(message.size()),
+                 message.data());
+  }
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+}  // namespace shredder

@@ -1,0 +1,30 @@
+// Internal invariant checking.
+//
+// SHREDDER_CHECK is for *programmer* errors (broken invariants); it aborts
+// with a message. Argument validation on public API boundaries throws
+// std::invalid_argument instead (see the per-module headers).
+#pragma once
+
+#include <string_view>
+
+namespace shredder {
+
+// Aborts the process with a diagnostic. Never returns.
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               std::string_view message);
+
+namespace detail {
+inline void check_impl(bool ok, const char* expr, const char* file, int line,
+                       std::string_view message) {
+  if (!ok) check_failed(expr, file, line, message);
+}
+}  // namespace detail
+
+}  // namespace shredder
+
+// Function-style wrapper kept as a macro only to capture expression text and
+// source location; the body is a real function call.
+#define SHREDDER_CHECK(expr) \
+  ::shredder::detail::check_impl(static_cast<bool>(expr), #expr, __FILE__, __LINE__, {})
+#define SHREDDER_CHECK_MSG(expr, msg) \
+  ::shredder::detail::check_impl(static_cast<bool>(expr), #expr, __FILE__, __LINE__, (msg))

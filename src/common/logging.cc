@@ -1,0 +1,43 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace shredder {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+std::mutex g_log_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) noexcept {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void log_write(LogLevel level, std::string_view tag, const std::string& body) {
+  std::lock_guard lock(g_log_mutex);
+  std::fprintf(stderr, "[%s] %.*s: %s\n", level_name(level),
+               static_cast<int>(tag.size()), tag.data(), body.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace shredder

@@ -1,0 +1,53 @@
+// Minimal leveled logger. Thread-safe; writes to stderr.
+//
+// Usage:
+//   shredder::log(shredder::LogLevel::kInfo, "pipeline", "started {} stages", n);
+// The format string supports "{}" placeholders (streamed with operator<<).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace shredder {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global log threshold; messages below it are dropped. Default: kWarn so
+// benches/tests stay quiet unless asked.
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+namespace detail {
+
+void log_write(LogLevel level, std::string_view tag, const std::string& body);
+
+inline void format_rest(std::ostringstream& out, std::string_view fmt) {
+  out << fmt;
+}
+
+template <typename T, typename... Rest>
+void format_rest(std::ostringstream& out, std::string_view fmt, const T& head,
+                 const Rest&... rest) {
+  const auto pos = fmt.find("{}");
+  if (pos == std::string_view::npos) {
+    out << fmt;
+    return;
+  }
+  out << fmt.substr(0, pos) << head;
+  format_rest(out, fmt.substr(pos + 2), rest...);
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, std::string_view tag, std::string_view fmt,
+         const Args&... args) {
+  if (level < log_threshold()) return;
+  std::ostringstream out;
+  detail::format_rest(out, fmt, args...);
+  detail::log_write(level, tag, out.str());
+}
+
+}  // namespace shredder

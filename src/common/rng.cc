@@ -1,0 +1,137 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace shredder {
+
+ByteVec random_bytes(std::uint64_t n, std::uint64_t seed) {
+  ByteVec out(n);
+  SplitMix64 rng(seed);
+  std::uint64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t v = rng.next();
+    for (int b = 0; b < 8; ++b) out[i + b] = static_cast<std::uint8_t>(v >> (8 * b));
+  }
+  if (i < n) {
+    const std::uint64_t v = rng.next();
+    for (int b = 0; i < n; ++i, ++b) out[i] = static_cast<std::uint8_t>(v >> (8 * b));
+  }
+  return out;
+}
+
+namespace {
+
+// Small dictionary; sampling is Zipf-like by squaring a uniform draw so early
+// (common) words dominate, which gives word-count jobs realistic skew.
+constexpr std::array<const char*, 64> kWords = {
+    "the",    "of",      "and",    "to",      "in",     "a",       "is",
+    "that",   "for",     "it",     "was",     "on",     "with",    "as",
+    "be",     "by",      "at",     "this",    "from",   "or",      "an",
+    "are",    "not",     "but",    "had",     "his",    "they",    "storage",
+    "system", "data",    "chunk",  "gpu",     "kernel", "memory",  "pipeline",
+    "stream", "backup",  "dedup",  "hash",    "index",  "cloud",   "node",
+    "file",   "block",   "thread", "buffer",  "cache",  "latency", "band",
+    "width",  "marker",  "rabin",  "window",  "shred",  "incr",    "mental",
+    "map",    "reduce",  "split",  "record",  "task",   "input",   "output",
+    "result"};
+
+std::string pick_word(SplitMix64& rng) {
+  const double u = rng.next_double();
+  const auto idx = static_cast<std::size_t>(u * u * kWords.size());
+  return kWords[std::min(idx, kWords.size() - 1)];
+}
+
+}  // namespace
+
+std::string random_text(std::uint64_t n, std::uint64_t seed) {
+  std::string out;
+  out.reserve(n + 16);
+  SplitMix64 rng(seed);
+  std::uint64_t since_newline = 0;
+  while (out.size() < n) {
+    out += pick_word(rng);
+    since_newline += 8;
+    // Lines of ~60-120 chars: newline with increasing probability.
+    if (since_newline > 60 && rng.next_below(8) == 0) {
+      out += '\n';
+      since_newline = 0;
+    } else {
+      out += ' ';
+    }
+  }
+  out.resize(n);
+  if (!out.empty()) out.back() = '\n';
+  return out;
+}
+
+ByteVec mutate_bytes(ByteSpan input, double fraction, std::uint64_t seed,
+                     std::size_t run_len) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("mutate_bytes: fraction must be in [0,1]");
+  }
+  ByteVec out(input.begin(), input.end());
+  if (out.empty() || fraction == 0.0) return out;
+  SplitMix64 rng(seed);
+  const auto total = static_cast<std::uint64_t>(fraction * static_cast<double>(out.size()));
+  std::uint64_t mutated = 0;
+  while (mutated < total) {
+    const std::size_t len = std::min<std::uint64_t>(run_len, total - mutated);
+    const std::size_t pos = rng.next_below(out.size());
+    for (std::size_t i = 0; i < len && pos + i < out.size(); ++i) {
+      out[pos + i] = static_cast<std::uint8_t>(rng.next());
+    }
+    mutated += len;
+  }
+  return out;
+}
+
+std::string mutate_text(const std::string& input, double fraction,
+                        std::uint64_t seed, std::size_t run_words) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("mutate_text: fraction must be in [0,1]");
+  }
+  if (run_words == 0) {
+    throw std::invalid_argument("mutate_text: run_words must be >= 1");
+  }
+  std::string out = input;
+  if (out.empty() || fraction == 0.0) return out;
+  SplitMix64 rng(seed);
+  const auto target = static_cast<std::uint64_t>(fraction * static_cast<double>(out.size()));
+  std::uint64_t mutated = 0;
+  while (mutated < target) {
+    // Pick a position, extend to word boundaries, replace with other words.
+    std::size_t pos = rng.next_below(out.size());
+    while (pos > 0 && out[pos - 1] != ' ' && out[pos - 1] != '\n') --pos;
+    std::size_t end = pos;
+    // Replace a run of ~run_words words to model a localized edit.
+    for (std::size_t w = 0; w < run_words && end < out.size(); ++w) {
+      while (end < out.size() && out[end] != ' ' && out[end] != '\n') ++end;
+      if (end < out.size()) ++end;
+    }
+    // Overwrite each word slot with a dictionary word cycled to the slot's
+    // length: the text stays drawn from a bounded vocabulary (documents are
+    // edited into other text, not into random noise) while the bytes change.
+    std::size_t i = pos;
+    while (i < end) {
+      if (out[i] == ' ' || out[i] == '\n') {
+        ++i;
+        continue;
+      }
+      std::size_t word_end = i;
+      while (word_end < end && out[word_end] != ' ' && out[word_end] != '\n') {
+        ++word_end;
+      }
+      const std::string replacement = pick_word(rng);
+      for (std::size_t j = i; j < word_end; ++j) {
+        out[j] = replacement[(j - i) % replacement.size()];
+      }
+      i = word_end;
+    }
+    mutated += end - pos;
+  }
+  return out;
+}
+
+}  // namespace shredder

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random generation and synthetic data sources.
+//
+// All randomness in the repository flows through SplitMix64 so that tests and
+// benches are reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace shredder {
+
+// SplitMix64: tiny, fast, well-distributed 64-bit generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return next() % bound;
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Fills `n` bytes of pseudo-random data (high entropy; representative of
+// compressed/encrypted storage payloads).
+ByteVec random_bytes(std::uint64_t n, std::uint64_t seed);
+
+// Generates `n` bytes of synthetic English-like text (whitespace-separated
+// words drawn from a Zipf-ish dictionary). Representative of the MapReduce
+// text workloads in the paper's case study I.
+std::string random_text(std::uint64_t n, std::uint64_t seed);
+
+// Mutates roughly `fraction` of the input *in contiguous runs*, modelling
+// localized edits (the incremental-computation workload of Fig 15). Each run
+// is `run_len` bytes; runs are placed uniformly. Returns the mutated copy.
+ByteVec mutate_bytes(ByteSpan input, double fraction, std::uint64_t seed,
+                     std::size_t run_len = 4096);
+
+// Text-preserving variant: rewrites whole words so the result remains token-
+// izable text. `fraction` is the approximate fraction of characters affected;
+// edits happen in runs of ~`run_words` consecutive words (few large runs
+// model localized document edits, many small runs model scattered noise).
+std::string mutate_text(const std::string& input, double fraction,
+                        std::uint64_t seed, std::size_t run_words = 32);
+
+}  // namespace shredder

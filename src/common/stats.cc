@@ -1,0 +1,119 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace shredder {
+
+void Summary::add(double x) noexcept {
+  ++count_;
+  sum_ += x;
+  sum_sq_ += x * x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Summary::stddev() const noexcept {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("Histogram: no buckets");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  // Bucket i holds values in (bounds[i-1], bounds[i]] — bounds are inclusive
+  // upper bounds.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())]++;
+  ++total_;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bucket_count");
+  return counts_[i];
+}
+
+double Histogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q in [0,1]");
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = i < bounds_.size() ? bounds_[i] : bounds_.back() * 2.0;
+      const double frac =
+          counts_[i] == 0 ? 0.0 : (target - cum) / static_cast<double>(counts_[i]);
+      return lo + frac * (hi - lo);
+    }
+    cum = next;
+  }
+  return bounds_.back();
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i < bounds_.size()) {
+      out << "<= " << bounds_[i];
+    } else {
+      out << " > " << bounds_.back();
+    }
+    out << ": " << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, int col_width)
+    : headers_(std::move(headers)), col_width_(col_width) {
+  SHREDDER_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter: row width mismatch");
+  }
+  rows_.push_back(cells);
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::to_string() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (const auto& c : cells) {
+      out << c;
+      const int pad = col_width_ - static_cast<int>(c.size());
+      for (int i = 0; i < std::max(pad, 1); ++i) out << ' ';
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  std::string rule(headers_.size() * static_cast<std::size_t>(col_width_), '-');
+  out << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TablePrinter::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace shredder

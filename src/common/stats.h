@@ -1,0 +1,70 @@
+// Summary statistics and fixed-bucket histograms for benches and tests.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace shredder {
+
+// Streaming summary (count/mean/min/max/stddev) over doubles.
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double stddev() const noexcept;
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Histogram with caller-supplied bucket upper bounds (last bucket is
+// unbounded). Used to inspect chunk-size distributions.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void add(double x) noexcept;
+  std::uint64_t bucket_count(std::size_t i) const;
+  std::size_t num_buckets() const noexcept { return counts_.size(); }
+  std::uint64_t total() const noexcept { return total_; }
+
+  // Approximate quantile (linear within buckets). q in [0,1].
+  double quantile(double q) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<double> bounds_;  // ascending
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Table printer: fixed-width columns for figure reproduction output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, int col_width = 14);
+
+  void add_row(const std::vector<std::string>& cells);
+  std::string to_string() const;
+  void print() const;  // to stdout
+
+  static std::string fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int col_width_;
+};
+
+}  // namespace shredder

@@ -1,0 +1,66 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace shredder {
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : queue_(1024),
+      workers_() {
+  std::size_t n = threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                               : threads;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = queue_.pop()) {
+    task->work();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  Task task{std::packaged_task<void()>(std::move(fn))};
+  auto future = task.work.get_future();
+  queue_.push(std::move(task));
+  return future;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t parts = std::min(n, size());
+  const std::size_t base = n / parts;
+  const std::size_t rem = n % parts;
+  std::vector<std::future<void>> futures;
+  futures.reserve(parts);
+  std::size_t begin = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t len = base + (p < rem ? 1 : 0);
+    const std::size_t end = begin + len;
+    futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+    begin = end;
+  }
+  for (auto& f : futures) f.get();
+}
+
+void ThreadPool::for_each_index(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(submit([&fn, i] { fn(i); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace shredder

@@ -1,0 +1,3 @@
+#include "common/timer.h"
+
+// Header-only for now; this TU anchors the library target.

@@ -1,0 +1,129 @@
+// Shredder: the GPU-accelerated content-based chunking service
+// (paper §3–§5). This is the library's primary public API.
+//
+// The workflow matches Figure 2/8 of the paper: a Reader thread pulls the
+// input stream into host buffers, a Transfer thread DMAs them into device
+// memory (double-buffered twins), the chunking kernel finds raw content
+// boundaries in parallel on the (simulated) GPU, and a Store thread copies
+// boundaries back, applies min/max sizes and upcalls the application with
+// finished chunks.
+//
+// Three operating modes expose the paper's optimization ladder (Fig 12):
+//   kBasic            serialized stages, pageable host memory, direct
+//                     device-memory kernel                       (§3.1)
+//   kStreams          pinned ring buffers + double buffering + 4-stage
+//                     streaming pipeline                          (§4.1–4.2)
+//   kStreamsCoalesced kStreams + memory-coalesced kernel          (§4.3)
+//
+// Every run does the real work on real bytes (the returned chunks are
+// bit-identical to chunking::chunk_serial) and additionally reports virtual
+// timings under the calibrated C2050 model so CPU/GPU comparisons reproduce
+// the paper's era rather than this host.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "chunking/chunk.h"
+#include "core/kernels.h"
+#include "core/source.h"
+#include "gpusim/device.h"
+#include "gpusim/pinned.h"
+#include "gpusim/spec.h"
+#include "rabin/rabin.h"
+
+namespace shredder::core {
+
+enum class GpuMode { kBasic, kStreams, kStreamsCoalesced };
+
+struct ShredderConfig {
+  chunking::ChunkerConfig chunker;
+  std::size_t buffer_bytes = 32ull * 1024 * 1024;  // pipeline buffer size
+  GpuMode mode = GpuMode::kStreamsCoalesced;
+  KernelParams kernel;
+  std::size_t ring_slots = 4;  // pinned ring = number of pipeline stages
+  gpu::DeviceSpec device;
+  gpu::HostSpec host;
+  std::size_t sim_threads = 0;  // host threads simulating the GPU (0 = auto)
+
+  void validate() const;
+};
+
+// Per-buffer virtual durations of the four pipeline stages.
+struct StageSeconds {
+  double reader = 0;
+  double transfer = 0;
+  double kernel = 0;
+  double store = 0;
+
+  double sum() const noexcept { return reader + transfer + kernel + store; }
+};
+
+struct ShredderResult {
+  std::vector<chunking::Chunk> chunks;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t n_buffers = 0;
+  std::uint64_t raw_boundaries = 0;
+
+  // Virtual end-to-end time under the configured mode (serialized for
+  // kBasic; 4-stage pipeline makespan otherwise) and its throughput.
+  double virtual_seconds = 0;
+  double virtual_throughput_bps = 0;
+  // Sum of all stage durations (the fully serialized execution).
+  double serialized_seconds = 0;
+  // Mean per-buffer stage durations (inputs to pipeline modelling).
+  StageSeconds mean_stage_seconds;
+  // One-time pinned-ring construction cost (streams modes only).
+  double init_seconds = 0;
+  // Aggregated kernel statistics over all buffers.
+  gpu::KernelRunStats kernel_totals;
+  // Real host time spent executing the run.
+  double wall_seconds = 0;
+};
+
+class Shredder {
+ public:
+  using ChunkCallback = std::function<void(const chunking::Chunk&)>;
+
+  // Throws std::invalid_argument on bad configuration.
+  explicit Shredder(ShredderConfig config);
+
+  // Chunks the whole stream from `source`, invoking `on_chunk` (if set) as
+  // chunks become final. Returns the full result.
+  ShredderResult run(DataSource& source, const ChunkCallback& on_chunk = {});
+
+  // Convenience: chunk an in-memory buffer served at the host reader
+  // bandwidth (the SAN model).
+  ShredderResult run(ByteSpan data, const ChunkCallback& on_chunk = {});
+
+  const ShredderConfig& config() const noexcept { return config_; }
+  const rabin::RabinTables& tables() const noexcept { return tables_; }
+  gpu::Device& device() noexcept { return *device_; }
+
+ private:
+  ShredderConfig config_;
+  rabin::RabinTables tables_;
+  std::unique_ptr<gpu::Device> device_;
+};
+
+// Host-only parallel chunking with the same result/report shape, for the
+// CPU-vs-GPU comparisons of Fig 12 (paper §5.1). Virtual timings use the
+// calibrated X5650 pthreads throughput from HostSpec.
+struct HostChunkResult {
+  std::vector<chunking::Chunk> chunks;
+  std::uint64_t total_bytes = 0;
+  double virtual_seconds = 0;        // max(reader, chunking) — overlapped
+  double virtual_throughput_bps = 0;
+  double wall_seconds = 0;           // real measured time on this machine
+  double wall_throughput_bps = 0;
+};
+
+HostChunkResult chunk_on_host(ByteSpan data,
+                              const chunking::ChunkerConfig& chunker,
+                              const gpu::HostSpec& host, bool use_arena,
+                              std::size_t threads = 0);
+
+}  // namespace shredder::core

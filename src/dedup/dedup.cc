@@ -1,0 +1,33 @@
+#include "dedup/dedup.h"
+
+#include <stdexcept>
+
+namespace shredder::dedup {
+
+DedupStats Deduplicator::ingest(ByteSpan data,
+                                const std::vector<chunking::Chunk>& chunks) {
+  DedupStats stats;
+  for (const auto& c : chunks) {
+    if (c.end() > data.size()) {
+      throw std::invalid_argument("Deduplicator::ingest: chunk out of range");
+    }
+    const ByteSpan payload = data.subspan(
+        static_cast<std::size_t>(c.offset), static_cast<std::size_t>(c.size));
+    const Sha1Digest digest = Sha1::hash(payload);
+    ++stats.chunks_total;
+    stats.bytes_total += c.size;
+    const auto existing = index_.lookup_or_insert(
+        digest, ChunkLocation{next_offset_, c.size});
+    if (existing.has_value()) {
+      ++stats.chunks_duplicate;
+      stats.bytes_duplicate += c.size;
+      store_.add_ref(digest);
+    } else {
+      next_offset_ += c.size;
+      store_.put(digest, payload);
+    }
+  }
+  return stats;
+}
+
+}  // namespace shredder::dedup

@@ -1,0 +1,53 @@
+// Deduplicator: ties the three steps of duplicate identification together
+// (paper §2.1): chunking (done by the caller — Shredder or a baseline
+// chunker), hashing (SHA-1 per chunk) and matching (ChunkIndex + ChunkStore).
+//
+// Also provides dedup_efficiency(), the measurement used to compare chunking
+// schemes: given two versions of a payload, how many bytes of the second
+// version are found in the store populated by the first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chunking/chunk.h"
+#include "common/bytes.h"
+#include "dedup/index.h"
+#include "dedup/sha1.h"
+#include "dedup/store.h"
+
+namespace shredder::dedup {
+
+struct DedupStats {
+  std::uint64_t chunks_total = 0;
+  std::uint64_t chunks_duplicate = 0;
+  std::uint64_t bytes_total = 0;
+  std::uint64_t bytes_duplicate = 0;
+
+  double dedup_ratio() const noexcept {
+    return bytes_total == 0 ? 0.0
+                            : static_cast<double>(bytes_duplicate) /
+                                  static_cast<double>(bytes_total);
+  }
+};
+
+class Deduplicator {
+ public:
+  explicit Deduplicator(double index_probe_seconds = 0.8e-6)
+      : index_(index_probe_seconds) {}
+
+  // Ingests `data` pre-split into `chunks`; stores unique chunks, counts
+  // duplicates. Returns the stats for this ingestion only.
+  DedupStats ingest(ByteSpan data, const std::vector<chunking::Chunk>& chunks);
+
+  const ChunkIndex& index() const noexcept { return index_; }
+  const ChunkStore& store() const noexcept { return store_; }
+  ChunkStore& store() noexcept { return store_; }
+
+ private:
+  ChunkIndex index_;
+  ChunkStore store_;
+  std::uint64_t next_offset_ = 0;
+};
+
+}  // namespace shredder::dedup

@@ -1,0 +1,45 @@
+#include "dedup/index.h"
+
+#include <stdexcept>
+
+namespace shredder::dedup {
+
+ChunkIndex::ChunkIndex(double probe_seconds) : probe_seconds_(probe_seconds) {
+  if (probe_seconds < 0) {
+    throw std::invalid_argument("ChunkIndex: negative probe cost");
+  }
+}
+
+ChunkIndex::Shard& ChunkIndex::shard_for(const Sha1Digest& d) const noexcept {
+  return shards_[static_cast<std::size_t>(d.prefix64() % kShards)];
+}
+
+std::optional<ChunkLocation> ChunkIndex::lookup_or_insert(
+    const Sha1Digest& digest, const ChunkLocation& loc) {
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shard_for(digest);
+  std::lock_guard lock(shard.mutex);
+  auto [it, inserted] = shard.map.try_emplace(digest, loc);
+  if (inserted) return std::nullopt;
+  return it->second;
+}
+
+std::optional<ChunkLocation> ChunkIndex::lookup(const Sha1Digest& digest) const {
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shard_for(digest);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.map.find(digest);
+  if (it == shard.map.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t ChunkIndex::size() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+}  // namespace shredder::dedup

@@ -1,0 +1,136 @@
+#include "dedup/sha1.h"
+
+#include <cstring>
+
+namespace shredder::dedup {
+
+namespace {
+inline std::uint32_t rotl(std::uint32_t x, int s) noexcept {
+  return (x << s) | (x >> (32 - s));
+}
+}  // namespace
+
+std::string Sha1Digest::hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+std::uint64_t Sha1Digest::prefix64() const noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | bytes[static_cast<std::size_t>(i)];
+  return v;
+}
+
+void Sha1::reset() noexcept {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+  length_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) noexcept {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(ByteSpan data) noexcept {
+  length_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ != 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset += take;
+    if (buffered_ == 64) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Sha1Digest Sha1::finish() noexcept {
+  const std::uint64_t bit_length = length_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(ByteSpan{&pad, 1});
+  const std::uint8_t zero = 0;
+  while (buffered_ != 56) update(ByteSpan{&zero, 1});
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
+  }
+  update(ByteSpan{len_bytes, 8});
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest.bytes[static_cast<std::size_t>(i * 4)] =
+        static_cast<std::uint8_t>(h_[i] >> 24);
+    digest.bytes[static_cast<std::size_t>(i * 4 + 1)] =
+        static_cast<std::uint8_t>(h_[i] >> 16);
+    digest.bytes[static_cast<std::size_t>(i * 4 + 2)] =
+        static_cast<std::uint8_t>(h_[i] >> 8);
+    digest.bytes[static_cast<std::size_t>(i * 4 + 3)] =
+        static_cast<std::uint8_t>(h_[i]);
+  }
+  reset();
+  return digest;
+}
+
+Sha1Digest Sha1::hash(ByteSpan data) noexcept {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace shredder::dedup

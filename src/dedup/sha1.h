@@ -1,0 +1,51 @@
+// SHA-1 (FIPS 180-1), from scratch.
+//
+// Used as the collision-resistant chunk hash of dedup step 2 (paper §2.1):
+// the Store thread computes a hash per chunk and the index matches it.
+// Verified against the FIPS/RFC 3174 test vectors in tests/dedup_test.cc.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace shredder::dedup {
+
+struct Sha1Digest {
+  std::array<std::uint8_t, 20> bytes{};
+
+  friend bool operator==(const Sha1Digest&, const Sha1Digest&) = default;
+  std::string hex() const;
+  // First 8 bytes as an integer, for use as an index key prefix.
+  std::uint64_t prefix64() const noexcept;
+};
+
+class Sha1 {
+ public:
+  Sha1() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(ByteSpan data) noexcept;
+  Sha1Digest finish() noexcept;  // resets afterwards
+
+  static Sha1Digest hash(ByteSpan data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::uint32_t h_[5];
+  std::uint64_t length_ = 0;  // bytes
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+// std::hash support so digests key unordered containers directly.
+struct Sha1DigestHash {
+  std::size_t operator()(const Sha1Digest& d) const noexcept {
+    return static_cast<std::size_t>(d.prefix64());
+  }
+};
+
+}  // namespace shredder::dedup

@@ -1,0 +1,156 @@
+#include "dedup/sha256.h"
+
+#include <cstring>
+
+namespace shredder::dedup {
+
+namespace {
+
+inline std::uint32_t rotr(std::uint32_t x, int s) noexcept {
+  return (x >> s) | (x << (32 - s));
+}
+
+constexpr std::uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+}  // namespace
+
+std::string Sha256Digest::hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+std::uint64_t Sha256Digest::prefix64() const noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | bytes[static_cast<std::size_t>(i)];
+  return v;
+}
+
+void Sha256::reset() noexcept {
+  h_[0] = 0x6a09e667u;
+  h_[1] = 0xbb67ae85u;
+  h_[2] = 0x3c6ef372u;
+  h_[3] = 0xa54ff53au;
+  h_[4] = 0x510e527fu;
+  h_[5] = 0x9b05688cu;
+  h_[6] = 0x1f83d9abu;
+  h_[7] = 0x5be0cd19u;
+  length_ = 0;
+  buffered_ = 0;
+}
+
+void Sha256::process_block(const std::uint8_t* block) noexcept {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+  std::uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t temp2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+  h_[5] += f;
+  h_[6] += g;
+  h_[7] += h;
+}
+
+void Sha256::update(ByteSpan data) noexcept {
+  length_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ != 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset += take;
+    if (buffered_ == 64) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Sha256Digest Sha256::finish() noexcept {
+  const std::uint64_t bit_length = length_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(ByteSpan{&pad, 1});
+  const std::uint8_t zero = 0;
+  while (buffered_ != 56) update(ByteSpan{&zero, 1});
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_length >> (56 - 8 * i));
+  }
+  update(ByteSpan{len_bytes, 8});
+  Sha256Digest digest;
+  for (int i = 0; i < 8; ++i) {
+    digest.bytes[static_cast<std::size_t>(i * 4)] =
+        static_cast<std::uint8_t>(h_[i] >> 24);
+    digest.bytes[static_cast<std::size_t>(i * 4 + 1)] =
+        static_cast<std::uint8_t>(h_[i] >> 16);
+    digest.bytes[static_cast<std::size_t>(i * 4 + 2)] =
+        static_cast<std::uint8_t>(h_[i] >> 8);
+    digest.bytes[static_cast<std::size_t>(i * 4 + 3)] =
+        static_cast<std::uint8_t>(h_[i]);
+  }
+  reset();
+  return digest;
+}
+
+Sha256Digest Sha256::hash(ByteSpan data) noexcept {
+  Sha256 h;
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace shredder::dedup

@@ -1,0 +1,49 @@
+// SHA-256 (FIPS 180-4), from scratch.
+//
+// Offered alongside SHA-1 for deployments that want a stronger chunk hash;
+// the backup case study defaults to SHA-1 (the common choice in 2012-era
+// dedup systems), tests cover both against the NIST vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace shredder::dedup {
+
+struct Sha256Digest {
+  std::array<std::uint8_t, 32> bytes{};
+
+  friend bool operator==(const Sha256Digest&, const Sha256Digest&) = default;
+  std::string hex() const;
+  std::uint64_t prefix64() const noexcept;
+};
+
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(ByteSpan data) noexcept;
+  Sha256Digest finish() noexcept;  // resets afterwards
+
+  static Sha256Digest hash(ByteSpan data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::uint32_t h_[8];
+  std::uint64_t length_ = 0;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+};
+
+struct Sha256DigestHash {
+  std::size_t operator()(const Sha256Digest& d) const noexcept {
+    return static_cast<std::size_t>(d.prefix64());
+  }
+};
+
+}  // namespace shredder::dedup

@@ -1,0 +1,60 @@
+#include "dedup/store.h"
+
+#include "common/check.h"
+
+namespace shredder::dedup {
+
+bool ChunkStore::put(const Sha1Digest& digest, ByteSpan data) {
+#ifndef NDEBUG
+  SHREDDER_CHECK_MSG(Sha1::hash(data) == digest,
+                     "ChunkStore::put digest mismatch");
+#endif
+  std::lock_guard lock(mutex_);
+  ++total_refs_;
+  auto [it, inserted] =
+      chunks_.try_emplace(digest, Entry{ByteVec(data.begin(), data.end()), 1});
+  if (!inserted) {
+    ++it->second.refs;
+    return false;
+  }
+  unique_bytes_ += data.size();
+  return true;
+}
+
+std::optional<ByteVec> ChunkStore::get(const Sha1Digest& digest) const {
+  std::lock_guard lock(mutex_);
+  const auto it = chunks_.find(digest);
+  if (it == chunks_.end()) return std::nullopt;
+  return it->second.data;
+}
+
+bool ChunkStore::contains(const Sha1Digest& digest) const {
+  std::lock_guard lock(mutex_);
+  return chunks_.contains(digest);
+}
+
+bool ChunkStore::add_ref(const Sha1Digest& digest) {
+  std::lock_guard lock(mutex_);
+  const auto it = chunks_.find(digest);
+  if (it == chunks_.end()) return false;
+  ++it->second.refs;
+  ++total_refs_;
+  return true;
+}
+
+std::uint64_t ChunkStore::unique_chunks() const {
+  std::lock_guard lock(mutex_);
+  return chunks_.size();
+}
+
+std::uint64_t ChunkStore::unique_bytes() const {
+  std::lock_guard lock(mutex_);
+  return unique_bytes_;
+}
+
+std::uint64_t ChunkStore::total_refs() const {
+  std::lock_guard lock(mutex_);
+  return total_refs_;
+}
+
+}  // namespace shredder::dedup

@@ -1,0 +1,49 @@
+// Content-addressed chunk store: holds one copy of each unique chunk and
+// reference counts it. The backup site (paper §7.2) keeps one of these to
+// reconstruct images from chunk/pointer streams.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "dedup/sha1.h"
+
+namespace shredder::dedup {
+
+class ChunkStore {
+ public:
+  ChunkStore() = default;
+
+  // Inserts a chunk (no-op if the digest already exists); returns true if
+  // the chunk was new. The digest must be the SHA-1 of `data` — checked in
+  // debug builds.
+  bool put(const Sha1Digest& digest, ByteSpan data);
+
+  // Copy of the chunk payload, or nullopt if unknown.
+  std::optional<ByteVec> get(const Sha1Digest& digest) const;
+
+  bool contains(const Sha1Digest& digest) const;
+
+  // Adds a reference to an existing chunk. Returns false if unknown.
+  bool add_ref(const Sha1Digest& digest);
+
+  std::uint64_t unique_chunks() const;
+  std::uint64_t unique_bytes() const;
+  std::uint64_t total_refs() const;
+
+ private:
+  struct Entry {
+    ByteVec data;
+    std::uint64_t refs = 1;
+  };
+  mutable std::mutex mutex_;
+  std::unordered_map<Sha1Digest, Entry, Sha1DigestHash> chunks_;
+  std::uint64_t unique_bytes_ = 0;
+  std::uint64_t total_refs_ = 0;
+};
+
+}  // namespace shredder::dedup

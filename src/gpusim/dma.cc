@@ -1,0 +1,35 @@
+#include "gpusim/dma.h"
+
+#include <algorithm>
+
+namespace shredder::gpu {
+
+double dma_seconds(const DeviceSpec& spec, std::uint64_t bytes, Direction dir,
+                   HostMemKind kind) noexcept {
+  if (bytes == 0) return 0.0;
+  const double link_bw = dir == Direction::kHostToDevice ? spec.h2d_pinned_bw
+                                                         : spec.d2h_pinned_bw;
+  const double wire_s = static_cast<double>(bytes) / link_bw;
+  if (kind == HostMemKind::kPinned) {
+    return spec.dma_fixed_pinned_s + wire_s;
+  }
+  // Pageable: staged through bounce buffers. The CPU-side staging work (per-
+  // chunk driver cost + memcpy) pipelines against the PCIe transfers, so the
+  // total is the slower of the two paths.
+  const std::uint64_t chunk = bytes >= spec.staging_batch_threshold
+                                  ? spec.staging_chunk_large
+                                  : spec.staging_chunk_small;
+  const std::uint64_t n_chunks = (bytes + chunk - 1) / chunk;
+  const double staging_s =
+      static_cast<double>(n_chunks) * spec.staging_per_chunk_s +
+      static_cast<double>(bytes) / spec.staging_memcpy_bw;
+  return spec.dma_fixed_pageable_s + std::max(wire_s, staging_s);
+}
+
+double dma_effective_bw(const DeviceSpec& spec, std::uint64_t bytes,
+                        Direction dir, HostMemKind kind) noexcept {
+  if (bytes == 0) return 0.0;
+  return static_cast<double>(bytes) / dma_seconds(spec, bytes, dir, kind);
+}
+
+}  // namespace shredder::gpu

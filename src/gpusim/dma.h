@@ -1,0 +1,28 @@
+// DMA transfer-time model for the PCIe link between host and device
+// (paper §4.1.1, Figure 3).
+//
+// Pinned (page-locked) host memory is DMA'd directly: a fixed setup cost
+// plus bytes at the PCIe rate. Pageable memory bounces through driver
+// staging buffers: each staging chunk pays a driver cost and a host memcpy,
+// overlapped with the PCIe burst of the previous chunk, which is why
+// pageable transfers saturate only at much larger buffer sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/spec.h"
+
+namespace shredder::gpu {
+
+enum class Direction { kHostToDevice, kDeviceToHost };
+enum class HostMemKind { kPageable, kPinned };
+
+// Modelled wall time of a single DMA transfer, seconds.
+double dma_seconds(const DeviceSpec& spec, std::uint64_t bytes, Direction dir,
+                   HostMemKind kind) noexcept;
+
+// Effective bandwidth (bytes/s) for convenience; 0 for empty transfers.
+double dma_effective_bw(const DeviceSpec& spec, std::uint64_t bytes,
+                        Direction dir, HostMemKind kind) noexcept;
+
+}  // namespace shredder::gpu

@@ -1,0 +1,79 @@
+#include "gpusim/dram.h"
+
+#include <cmath>
+
+namespace shredder::gpu {
+
+DramAddress map_address(const DeviceSpec& spec, std::uint64_t addr) noexcept {
+  const std::uint64_t row_index = addr / spec.row_bytes;
+  const auto total_banks = static_cast<std::uint64_t>(spec.total_banks());
+  const std::uint64_t bank_linear = row_index % total_banks;
+  return DramAddress{
+      .channel = static_cast<int>(bank_linear %
+                                  static_cast<std::uint64_t>(spec.mem_channels)),
+      .bank = static_cast<int>(bank_linear /
+                               static_cast<std::uint64_t>(spec.mem_channels)),
+      .row = row_index / total_banks,
+  };
+}
+
+DramSimulator::DramSimulator(const DeviceSpec& spec)
+    : spec_(spec),
+      open_row_(static_cast<std::size_t>(spec.total_banks()), kNoRow) {}
+
+void DramSimulator::access(std::uint64_t addr, std::uint64_t bytes) noexcept {
+  if (bytes == 0) return;
+  // Round the touched range out to whole bursts.
+  const std::uint64_t burst = spec_.burst_bytes;
+  std::uint64_t first = addr / burst * burst;
+  const std::uint64_t last = (addr + bytes - 1) / burst * burst;
+  for (std::uint64_t a = first; a <= last; a += burst) {
+    const DramAddress where = map_address(spec_, a);
+    const std::size_t slot =
+        static_cast<std::size_t>(where.channel) *
+            static_cast<std::size_t>(spec_.banks_per_channel) +
+        static_cast<std::size_t>(where.bank);
+    ++stats_.transactions;
+    stats_.bytes_fetched += burst;
+    if (open_row_[slot] != where.row) {
+      if (open_row_[slot] != kNoRow) ++stats_.row_switches;
+      open_row_[slot] = where.row;
+    }
+  }
+}
+
+void DramSimulator::reset() noexcept {
+  for (auto& r : open_row_) r = kNoRow;
+  stats_ = DramStats{};
+}
+
+double estimate_row_switch_fraction(const DeviceSpec& spec,
+                                    std::uint64_t n_streams,
+                                    std::uint64_t txn_bytes) noexcept {
+  const double banks = static_cast<double>(spec.total_banks());
+  // A lone sequential stream only switches when it leaves a row (and rows
+  // interleave across banks, so returning to the same bank means a new row).
+  const double sequential_fraction =
+      static_cast<double>(txn_bytes) / static_cast<double>(spec.row_bytes);
+  if (n_streams <= 1) return std::min(1.0, sequential_fraction);
+  // Probability that a given stream currently shares its bank with at least
+  // one other stream (balls-in-bins): those accesses alternate rows within
+  // the bank and essentially always switch.
+  const double p_share =
+      1.0 - std::pow(1.0 - 1.0 / banks, static_cast<double>(n_streams - 1));
+  return std::min(1.0, p_share + (1.0 - p_share) * sequential_fraction);
+}
+
+double dram_time_seconds(const DeviceSpec& spec, std::uint64_t transactions,
+                         double row_switch_fraction) noexcept {
+  const double per_channel_bw =
+      spec.mem_clock_bw / static_cast<double>(spec.mem_channels);
+  const double burst_occupancy_s =
+      static_cast<double>(spec.burst_bytes) / per_channel_bw;
+  const double per_txn_s =
+      burst_occupancy_s + row_switch_fraction * spec.row_switch_ns * 1e-9;
+  return static_cast<double>(transactions) * per_txn_s /
+         static_cast<double>(spec.mem_channels);
+}
+
+}  // namespace shredder::gpu

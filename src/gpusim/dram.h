@@ -1,0 +1,82 @@
+// GDDR5 bank/row accounting (paper §2.3).
+//
+// Memory is organised as channels x banks x rows; a bank's sense amplifier
+// holds one open row. Accessing a different row in the same bank costs a
+// PRE (write back) + ACT (activate) pair, which is the "bank conflict"
+// phenomenon that makes the unoptimized chunking kernel memory-bound.
+//
+// Two implementations of the same accounting:
+//  * DramSimulator — exact: tracks every bank's open row transaction by
+//    transaction. Used by tests and small runs.
+//  * RowSwitchEstimator — analytic: closed-form expected row-switch fraction
+//    for K interleaved sequential streams. Used by kernel launches, where
+//    running the exact simulator per transaction would dominate runtime.
+// A gtest cross-validates the two on identical access patterns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/spec.h"
+
+namespace shredder::gpu {
+
+// Address mapping: consecutive rows interleave across banks (then channels),
+// the standard layout for streaming bandwidth.
+struct DramAddress {
+  int channel;
+  int bank;        // bank within channel
+  std::uint64_t row;
+};
+
+DramAddress map_address(const DeviceSpec& spec, std::uint64_t addr) noexcept;
+
+struct DramStats {
+  std::uint64_t transactions = 0;
+  std::uint64_t row_switches = 0;
+  std::uint64_t bytes_fetched = 0;  // full bursts
+
+  double row_switch_fraction() const noexcept {
+    return transactions == 0
+               ? 0.0
+               : static_cast<double>(row_switches) /
+                     static_cast<double>(transactions);
+  }
+};
+
+// Exact per-transaction simulator.
+class DramSimulator {
+ public:
+  explicit DramSimulator(const DeviceSpec& spec);
+
+  // One transaction touching [addr, addr+bytes). Transactions are rounded up
+  // to full bursts; a burst that crosses rows counts each row it opens.
+  void access(std::uint64_t addr, std::uint64_t bytes) noexcept;
+
+  const DramStats& stats() const noexcept { return stats_; }
+  void reset() noexcept;
+
+ private:
+  DeviceSpec spec_;
+  // open_row_[channel * banks_per_channel + bank]; kNoRow when cold.
+  static constexpr std::uint64_t kNoRow = ~std::uint64_t{0};
+  std::vector<std::uint64_t> open_row_;
+  DramStats stats_;
+};
+
+// Analytic expectation for `n_streams` concurrent sequential readers, each
+// issuing `txn_bytes` transactions round-robin, streams spaced far apart
+// (> banks * row_bytes), which is exactly the unoptimized kernel's pattern.
+// For the coalesced kernel, n_streams is the number of concurrently fetching
+// thread blocks and txn_bytes the coalesced transaction size.
+double estimate_row_switch_fraction(const DeviceSpec& spec,
+                                    std::uint64_t n_streams,
+                                    std::uint64_t txn_bytes) noexcept;
+
+// Seconds spent in device memory for `transactions` bursts with the given
+// row-switch fraction: per transaction, burst occupancy (bandwidth) plus the
+// exposed PRE/ACT serialization on switches, spread over the channels.
+double dram_time_seconds(const DeviceSpec& spec, std::uint64_t transactions,
+                         double row_switch_fraction) noexcept;
+
+}  // namespace shredder::gpu

@@ -1,0 +1,95 @@
+// Calibration constants for the simulated GPU and host.
+//
+// DeviceSpec defaults model the NVidia Tesla C2050 (Fermi) of the paper's
+// testbed (Table 1 / §5.3); HostSpec models the 12-core Xeon X5650 host.
+// Every timing the simulator reports derives from these numbers, so DESIGN.md
+// §5 documents each value's provenance. Changing a field re-calibrates the
+// whole stack coherently (benches expose some as sweeps).
+#pragma once
+
+#include <cstdint>
+
+namespace shredder::gpu {
+
+struct DeviceSpec {
+  // --- Compute (paper §5.3: 14 SMs x 32 SPs @ 1.15 GHz) ---
+  int num_sms = 14;
+  int sps_per_sm = 32;
+  int warp_size = 32;
+  double clock_hz = 1.15e9;
+  // Cost of the Rabin inner loop (table lookups, shifts, xor, compare) on a
+  // simple in-order scalar core. Calibrated so the coalesced kernel's
+  // compute-bound asymptote matches Fig 11 (~0.1 s/GB over 448 SPs).
+  double compute_cycles_per_byte = 50.0;
+
+  // --- Device (global) memory: GDDR5, Table 1 + §2.3 ---
+  std::uint64_t global_mem_bytes = 2600ull * 1024 * 1024;  // 2.6 GB
+  double mem_clock_bw = 144e9;     // peak aggregate bandwidth, B/s
+  int mem_channels = 6;            // C2050: 6 x 64-bit GDDR5 channels
+  int banks_per_channel = 16;
+  std::uint64_t row_bytes = 2048;  // sense-amplifier row size
+  // Every DRAM transaction fetches a full 128 B burst (Fermi transaction
+  // granularity), regardless of how many bytes the threads asked for.
+  std::uint64_t burst_bytes = 128;
+  // Exposed serialization cost of PRE+ACT when a transaction lands on a bank
+  // whose sense amplifier holds a different row (§2.3). Calibrated with
+  // Fig 11: ~70 ns per conflicted transaction.
+  double row_switch_ns = 70.0;
+  int mem_latency_cycles = 500;    // Table 1: 400-600 cycles
+  std::uint64_t shared_mem_per_sm = 48ull * 1024;  // 48 KB on-chip
+  int shared_banks = 32;
+
+  // Per-thread read granularity of the unoptimized kernel (each thread walks
+  // its own sub-stream; the hardware still fetches full bursts).
+  std::uint64_t uncoalesced_txn_bytes = 16;
+  // Half-warp cooperative fetch: 16 threads x 8 B = one 128 B transaction.
+  std::uint64_t coalesced_txn_bytes = 128;
+
+  // --- PCIe / DMA (Table 1, Fig 3) ---
+  double h2d_pinned_bw = 5.406e9;
+  double d2h_pinned_bw = 5.129e9;
+  double dma_fixed_pinned_s = 12e-6;
+  double dma_fixed_pageable_s = 35e-6;
+  // Pageable transfers bounce through driver staging buffers: 64 KB chunks
+  // (1 MB once the transfer is >= 32 MB, when the driver batches), each with
+  // a per-chunk driver cost, staged at host-memcpy speed, overlapped with
+  // the PCIe burst of the previous chunk.
+  double staging_memcpy_bw = 6.0e9;
+  double staging_per_chunk_s = 6e-6;
+  std::uint64_t staging_chunk_small = 64ull * 1024;
+  std::uint64_t staging_chunk_large = 1024ull * 1024;
+  std::uint64_t staging_batch_threshold = 32ull * 1024 * 1024;
+
+  // --- Kernel launch (Table 2) ---
+  double launch_small_s = 30e-6;
+  double launch_large_s = 85e-6;
+  std::uint64_t launch_large_threshold = 128ull * 1024 * 1024;
+
+  // --- Pinned-memory allocation (Fig 6) ---
+  // Page-locking walks and locks every page and zeroes it: ~0.67 GB/s.
+  double pin_fixed_s = 7e-6;
+  double pin_per_byte_s = 1.5e-9;
+  // Pageable allocation is lazy; the paper forces allocation with bzero.
+  double pageable_touch_bw = 8.0e9;
+  double pageable_fixed_s = 2e-6;
+
+  int total_sps() const noexcept { return num_sms * sps_per_sm; }
+  int total_banks() const noexcept { return mem_channels * banks_per_channel; }
+};
+
+struct HostSpec {
+  // 12 x Intel Xeon X5650 @ 2.67 GHz (paper §5.3).
+  int cores = 12;
+  double clock_hz = 2.67e9;
+  // End-to-end host-only chunking throughput of the pthreads implementation
+  // (Fig 12 calibration): with the Hoard-like arena allocator and without.
+  double pthreads_chunking_bw_hoard = 0.40e9;
+  double pthreads_chunking_bw_malloc = 0.30e9;
+  // Reader (SAN) I/O bandwidth, Table 1.
+  double reader_bw = 2.0e9;
+  // Plain host memcpy bandwidth (used by the reader when the source is
+  // already resident, and by pageable->pinned staging copies).
+  double memcpy_bw = 6.0e9;
+};
+
+}  // namespace shredder::gpu

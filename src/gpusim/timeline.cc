@@ -1,0 +1,74 @@
+#include "gpusim/timeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace shredder::gpu {
+
+GpuTimeline::GpuTimeline(std::size_t streams) : stream_free_(streams, 0.0) {
+  if (streams == 0) throw std::invalid_argument("GpuTimeline: streams >= 1");
+}
+
+double GpuTimeline::enqueue(std::size_t stream, EngineKind engine,
+                            double duration) {
+  if (stream >= stream_free_.size()) {
+    throw std::invalid_argument("GpuTimeline: bad stream index");
+  }
+  if (duration < 0) {
+    throw std::invalid_argument("GpuTimeline: negative duration");
+  }
+  const auto e = static_cast<std::size_t>(engine);
+  const double start = std::max(stream_free_[stream], engine_free_[e]);
+  const double finish = start + duration;
+  stream_free_[stream] = finish;
+  engine_free_[e] = finish;
+  engine_busy_[e] += duration;
+  makespan_ = std::max(makespan_, finish);
+  return finish;
+}
+
+double GpuTimeline::stream_time(std::size_t stream) const {
+  if (stream >= stream_free_.size()) {
+    throw std::invalid_argument("GpuTimeline: bad stream index");
+  }
+  return stream_free_[stream];
+}
+
+double GpuTimeline::makespan() const noexcept { return makespan_; }
+
+double GpuTimeline::engine_busy(EngineKind engine) const noexcept {
+  return engine_busy_[static_cast<std::size_t>(engine)];
+}
+
+double pipeline_makespan(const std::vector<double>& stage_seconds,
+                         std::uint64_t n_buffers, std::size_t slots) {
+  if (stage_seconds.empty()) {
+    throw std::invalid_argument("pipeline_makespan: no stages");
+  }
+  if (slots == 0) {
+    throw std::invalid_argument("pipeline_makespan: slots must be >= 1");
+  }
+  for (double d : stage_seconds) {
+    if (d < 0) throw std::invalid_argument("pipeline_makespan: negative stage");
+  }
+  const std::size_t stages = stage_seconds.size();
+  // finish[s] = finish time of the most recent buffer through stage s.
+  std::vector<double> stage_finish(stages, 0.0);
+  // Completion time of each buffer (ring-slot reuse constraint).
+  std::vector<double> buffer_done;
+  buffer_done.reserve(static_cast<std::size_t>(n_buffers));
+  for (std::uint64_t i = 0; i < n_buffers; ++i) {
+    double t = 0.0;
+    // Ring slot: buffer i reuses the slot of buffer i - slots.
+    if (i >= slots) t = buffer_done[static_cast<std::size_t>(i - slots)];
+    for (std::size_t s = 0; s < stages; ++s) {
+      const double start = std::max(t, stage_finish[s]);
+      t = start + stage_seconds[s];
+      stage_finish[s] = t;
+    }
+    buffer_done.push_back(t);
+  }
+  return buffer_done.empty() ? 0.0 : buffer_done.back();
+}
+
+}  // namespace shredder::gpu

@@ -1,0 +1,54 @@
+// Virtual-time scheduling of GPU operations and pipelines.
+//
+// GpuTimeline models the Fermi engine layout: one H2D copy engine, one D2H
+// copy engine and one compute engine, fed by per-stream FIFOs. An operation
+// starts when both its stream's previous operation and its engine are free —
+// which is exactly what makes double buffering (§4.1.1) overlap copy with
+// compute across two streams while a single stream serializes.
+//
+// pipeline_makespan() schedules a linear multi-stage pipeline (§4.2,
+// Figure 8): stage s of buffer i starts when stage s-1 of buffer i is done,
+// stage s has finished buffer i-1, and a ring slot is free (buffer i-slots
+// has fully drained). This produces Figure 9's speedups.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace shredder::gpu {
+
+enum class EngineKind { kCopyH2D, kCopyD2H, kCompute };
+
+class GpuTimeline {
+ public:
+  // Creates `streams` FIFO streams (CUDA streams). At least 1.
+  explicit GpuTimeline(std::size_t streams);
+
+  // Enqueues an operation of `duration` seconds on `stream` using `engine`;
+  // returns its virtual finish time.
+  double enqueue(std::size_t stream, EngineKind engine, double duration);
+
+  // Finish time of the last operation enqueued on `stream` so far.
+  double stream_time(std::size_t stream) const;
+
+  // Finish time of all work enqueued so far.
+  double makespan() const noexcept;
+
+  // Total busy time of one engine (for utilisation reporting).
+  double engine_busy(EngineKind engine) const noexcept;
+
+ private:
+  std::vector<double> stream_free_;
+  double engine_free_[3] = {0, 0, 0};
+  double engine_busy_[3] = {0, 0, 0};
+  double makespan_ = 0;
+};
+
+// Makespan of `n` buffers through a pipeline whose per-buffer stage
+// durations are `stage_seconds` (same for every buffer), admitting at most
+// `slots` buffers in flight. `slots >= stages` gives the full pipeline;
+// slots == 1 degenerates to fully serialized execution.
+double pipeline_makespan(const std::vector<double>& stage_seconds,
+                         std::uint64_t n_buffers, std::size_t slots);
+
+}  // namespace shredder::gpu

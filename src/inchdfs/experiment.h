@@ -1,0 +1,51 @@
+// The Figure 15 experiment harness: incremental MapReduce speedup versus
+// fraction of input change, for Word-Count, Co-occurrence Matrix and
+// K-means.
+//
+// Protocol (matching §6.3): the original input is uploaded through the
+// Shredder-enabled Inc-HDFS client and the job runs once to prime the
+// memoization server. The input is then mutated by `change_fraction`,
+// re-uploaded, and the job runs twice on the mutated data:
+//   * "Hadoop"  — stock runtime: fixed-size splits, no memoization,
+//   * "Incoop"  — content-defined splits + memoization.
+// Speedup is wall-clock Hadoop / Incoop; outputs are verified equal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "inchdfs/mapreduce.h"
+
+namespace shredder::inchdfs {
+
+enum class Workload { kWordCount, kCoOccurrence, kKMeans };
+
+const char* workload_name(Workload w) noexcept;
+
+struct ExperimentConfig {
+  Workload workload = Workload::kWordCount;
+  // Text bytes for the word jobs; points * 8 bytes for K-means.
+  std::uint64_t input_bytes = 8ull * 1024 * 1024;
+  double change_fraction = 0.05;
+  std::uint64_t seed = 1;
+  std::size_t engine_threads = 0;
+  // Content-defined split parameters (expected split = 2^mask_bits bytes).
+  unsigned split_mask_bits = 16;   // ~64 KB splits
+  std::uint64_t split_min = 16 * 1024;
+  std::uint64_t split_max = 256 * 1024;
+};
+
+struct ExperimentResult {
+  double hadoop_seconds = 0;
+  double incremental_seconds = 0;
+  double speedup = 0;
+  bool outputs_match = false;
+  std::uint64_t map_tasks = 0;
+  std::uint64_t map_reused = 0;
+  std::uint64_t reduce_tasks = 0;
+  std::uint64_t reduce_reused = 0;
+};
+
+ExperimentResult run_incremental_experiment(const ExperimentConfig& config);
+
+}  // namespace shredder::inchdfs

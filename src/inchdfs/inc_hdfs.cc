@@ -1,0 +1,67 @@
+#include "inchdfs/inc_hdfs.h"
+
+#include "chunking/fixed.h"
+#include "common/timer.h"
+
+namespace shredder::inchdfs {
+
+UploadStats IncHdfsClient::upload(const std::string& name, ByteSpan data,
+                                  const std::vector<std::uint64_t>& boundaries) {
+  std::vector<ByteSpan> blocks;
+  blocks.reserve(boundaries.size());
+  std::uint64_t last = 0;
+  for (std::uint64_t end : boundaries) {
+    blocks.push_back(data.subspan(static_cast<std::size_t>(last),
+                                  static_cast<std::size_t>(end - last)));
+    last = end;
+  }
+  fs_->write_file(name, blocks);
+  UploadStats stats;
+  stats.blocks = blocks.size();
+  stats.bytes = data.size();
+  return stats;
+}
+
+UploadStats IncHdfsClient::copy_from_local(const std::string& name,
+                                           ByteSpan data,
+                                           std::uint64_t block_size,
+                                           const InputFormat* format) {
+  Stopwatch wall;
+  const auto chunks = chunking::chunk_fixed(data, block_size);
+  std::vector<std::uint64_t> boundaries;
+  boundaries.reserve(chunks.size());
+  for (const auto& c : chunks) boundaries.push_back(c.end());
+  if (format != nullptr) boundaries = align_boundaries(*format, data, boundaries);
+  auto stats = upload(name, data, boundaries);
+  stats.wall_seconds = wall.elapsed_seconds();
+  return stats;
+}
+
+UploadStats IncHdfsClient::copy_from_local_gpu(const std::string& name,
+                                               ByteSpan data,
+                                               const InputFormat& format,
+                                               core::Shredder& shredder) {
+  Stopwatch wall;
+  const auto result = shredder.run(data);
+  std::vector<std::uint64_t> proposed;
+  proposed.reserve(result.chunks.size());
+  for (const auto& c : result.chunks) proposed.push_back(c.end());
+  const auto aligned = align_boundaries(format, data, proposed);
+  auto stats = upload(name, data, aligned);
+  stats.chunking_virtual_seconds = result.virtual_seconds;
+  stats.wall_seconds = wall.elapsed_seconds();
+  return stats;
+}
+
+std::vector<Split> IncHdfsClient::read_splits(const std::string& name) const {
+  std::vector<Split> splits;
+  const auto refs = fs_->namenode().lookup(name);
+  auto blocks = fs_->read_blocks(name);
+  splits.reserve(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    splits.push_back(Split{refs[i].digest, std::move(blocks[i])});
+  }
+  return splits;
+}
+
+}  // namespace shredder::inchdfs

@@ -1,0 +1,71 @@
+#include "inchdfs/input_format.h"
+
+#include <stdexcept>
+
+namespace shredder::inchdfs {
+
+std::uint64_t TextInputFormat::align_boundary(ByteSpan data,
+                                              std::uint64_t proposed) const {
+  if (proposed == 0) return 0;  // start of file is a record boundary
+  std::uint64_t pos = std::min<std::uint64_t>(proposed, data.size());
+  while (pos < data.size() && data[static_cast<std::size_t>(pos) - 1] != '\n') {
+    ++pos;
+  }
+  return pos;
+}
+
+std::vector<ByteSpan> TextInputFormat::records(ByteSpan block) const {
+  std::vector<ByteSpan> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    if (block[i] == '\n') {
+      out.push_back(block.subspan(start, i + 1 - start));
+      start = i + 1;
+    }
+  }
+  if (start < block.size()) out.push_back(block.subspan(start));
+  return out;
+}
+
+FixedRecordInputFormat::FixedRecordInputFormat(std::size_t record_bytes)
+    : record_bytes_(record_bytes) {
+  if (record_bytes == 0) {
+    throw std::invalid_argument("FixedRecordInputFormat: record_bytes 0");
+  }
+}
+
+std::uint64_t FixedRecordInputFormat::align_boundary(
+    ByteSpan data, std::uint64_t proposed) const {
+  const std::uint64_t rb = record_bytes_;
+  const std::uint64_t aligned = (proposed + rb - 1) / rb * rb;
+  return std::min<std::uint64_t>(aligned, data.size());
+}
+
+std::vector<ByteSpan> FixedRecordInputFormat::records(ByteSpan block) const {
+  std::vector<ByteSpan> out;
+  for (std::size_t off = 0; off < block.size(); off += record_bytes_) {
+    out.push_back(block.subspan(off, std::min(record_bytes_,
+                                              block.size() - off)));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> align_boundaries(
+    const InputFormat& format, ByteSpan data,
+    const std::vector<std::uint64_t>& proposed) {
+  std::vector<std::uint64_t> out;
+  std::uint64_t last = 0;
+  for (std::uint64_t p : proposed) {
+    const std::uint64_t aligned = format.align_boundary(data, p);
+    if (aligned > last && aligned <= data.size()) {
+      out.push_back(aligned);
+      last = aligned;
+    }
+  }
+  if (data.size() != 0 && (out.empty() || out.back() != data.size())) {
+    out.push_back(data.size());
+  }
+  return out;
+}
+
+}  // namespace shredder::inchdfs

@@ -1,0 +1,59 @@
+// Semantic chunking framework (paper §6.3).
+//
+// Content-based chunking is oblivious to record structure, so a boundary can
+// land mid-record. Like Hadoop's InputFormat, these classes adjust proposed
+// split boundaries to the next record boundary so Map tasks always see whole
+// records. The adjustment is a deterministic function of the content, so
+// record-aligned content-defined splits remain stable under local edits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace shredder::inchdfs {
+
+class InputFormat {
+ public:
+  virtual ~InputFormat() = default;
+
+  // Given `data` and a proposed boundary end-offset, returns the nearest
+  // record-aligned end-offset at or after it (clamped to data.size()).
+  virtual std::uint64_t align_boundary(ByteSpan data,
+                                       std::uint64_t proposed) const = 0;
+
+  // Splits one record-aligned block into records (for Map tasks).
+  virtual std::vector<ByteSpan> records(ByteSpan block) const = 0;
+};
+
+// Records are '\n'-terminated lines.
+class TextInputFormat final : public InputFormat {
+ public:
+  std::uint64_t align_boundary(ByteSpan data,
+                               std::uint64_t proposed) const override;
+  std::vector<ByteSpan> records(ByteSpan block) const override;
+};
+
+// Fixed-length binary records (e.g. the points file of the K-means job).
+class FixedRecordInputFormat final : public InputFormat {
+ public:
+  explicit FixedRecordInputFormat(std::size_t record_bytes);
+
+  std::uint64_t align_boundary(ByteSpan data,
+                               std::uint64_t proposed) const override;
+  std::vector<ByteSpan> records(ByteSpan block) const override;
+
+  std::size_t record_bytes() const noexcept { return record_bytes_; }
+
+ private:
+  std::size_t record_bytes_;
+};
+
+// Applies align_boundary to every proposed boundary, dropping collapsed
+// duplicates; the final boundary is always data.size().
+std::vector<std::uint64_t> align_boundaries(const InputFormat& format,
+                                            ByteSpan data,
+                                            const std::vector<std::uint64_t>& proposed);
+
+}  // namespace shredder::inchdfs

@@ -1,0 +1,278 @@
+#include "inchdfs/jobs.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "inchdfs/textgen.h"
+
+namespace shredder::inchdfs {
+
+namespace {
+
+// Tokenizes text into lowercase words (the corpus generator emits only
+// [a-z ] and newlines, but stay robust to arbitrary bytes).
+template <typename Fn>
+void for_each_word(ByteSpan data, Fn&& fn) {
+  std::size_t start = 0;
+  auto is_word = [](std::uint8_t c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9');
+  };
+  for (std::size_t i = 0; i <= data.size(); ++i) {
+    const bool end = i == data.size() || !is_word(data[i]);
+    if (end) {
+      if (i > start) {
+        fn(std::string_view(reinterpret_cast<const char*>(data.data()) + start,
+                            i - start));
+      }
+      start = i + 1;
+    }
+  }
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  std::uint64_t v = 0;
+  std::from_chars(s.data(), s.data() + s.size(), v);
+  return v;
+}
+
+}  // namespace
+
+JobSpec make_wordcount_job(std::size_t num_reducers) {
+  JobSpec job;
+  job.name = "word-count";
+  job.num_reducers = num_reducers;
+  job.map_fn = [](const Split& split, MapEmitter& emitter) {
+    std::unordered_map<std::string, std::uint64_t> local;
+    for_each_word(as_bytes(split.data),
+                  [&](std::string_view word) { local[std::string(word)]++; });
+    for (auto& [word, count] : local) {
+      emitter.emit(word, std::to_string(count));
+    }
+  };
+  job.reduce_fn = [](const std::string&, const std::vector<std::string>& vs) {
+    std::uint64_t sum = 0;
+    for (const auto& v : vs) sum += parse_u64(v);
+    return std::to_string(sum);
+  };
+  job.combine_fn = job.reduce_fn;  // summation is associative
+  return job;
+}
+
+JobSpec make_cooccurrence_job(unsigned window, std::size_t num_reducers) {
+  if (window == 0) {
+    throw std::invalid_argument("make_cooccurrence_job: window >= 1");
+  }
+  JobSpec job;
+  job.name = "co-occurrence";
+  job.params_digest = "w=" + std::to_string(window);
+  job.num_reducers = num_reducers;
+  job.map_fn = [window](const Split& split, MapEmitter& emitter) {
+    // Pairs are counted within a record (line) so the result is independent
+    // of how the stream was split: record-aligned splits never cut a line.
+    std::unordered_map<std::string, std::uint64_t> local;
+    ByteSpan data = as_bytes(split.data);
+    std::size_t line_start = 0;
+    std::vector<std::string> words;
+    auto flush_line = [&](std::size_t end) {
+      words.clear();
+      for_each_word(data.subspan(line_start, end - line_start),
+                    [&](std::string_view w) { words.emplace_back(w); });
+      for (std::size_t i = 0; i < words.size(); ++i) {
+        for (std::size_t j = i + 1; j <= i + window && j < words.size(); ++j) {
+          local[words[i] + "|" + words[j]]++;
+        }
+      }
+      line_start = end + 1;
+    };
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (data[i] == '\n') flush_line(i);
+    }
+    if (line_start < data.size()) flush_line(data.size());
+    for (auto& [pair, count] : local) {
+      emitter.emit(pair, std::to_string(count));
+    }
+  };
+  job.reduce_fn = [](const std::string&, const std::vector<std::string>& vs) {
+    std::uint64_t sum = 0;
+    for (const auto& v : vs) sum += parse_u64(v);
+    return std::to_string(sum);
+  };
+  job.combine_fn = job.reduce_fn;  // summation is associative
+  return job;
+}
+
+KMeansDriver::KMeansDriver(unsigned k, unsigned max_iterations,
+                           std::uint64_t seed)
+    : k_(k), max_iterations_(max_iterations), seed_(seed) {
+  if (k == 0) throw std::invalid_argument("KMeansDriver: k >= 1");
+  if (max_iterations == 0) {
+    throw std::invalid_argument("KMeansDriver: max_iterations >= 1");
+  }
+}
+
+std::vector<std::pair<float, float>> KMeansDriver::initial_centroids(
+    const std::vector<Split>& splits) const {
+  std::vector<std::pair<float, float>> centroids;
+  centroids.reserve(k_);
+  if (splits.empty() || splits[0].data.size() < 8) {
+    // Degenerate input: fall back to a deterministic spread.
+    SplitMix64 rng(seed_);
+    for (unsigned i = 0; i < k_; ++i) {
+      centroids.emplace_back(static_cast<float>(rng.next_double() * 100.0),
+                             static_cast<float>(rng.next_double() * 100.0));
+    }
+    return centroids;
+  }
+  const auto points = decode_points(as_bytes(splits[0].data));
+  // Sample only among the leading points so the choice is identical no
+  // matter how the stream was split (fixed-size vs content-defined layouts
+  // share the same leading bytes).
+  const std::uint64_t pool = std::min<std::uint64_t>(points.size(), 256);
+  SplitMix64 rng(seed_);
+  for (unsigned i = 0; i < k_; ++i) {
+    centroids.push_back(points[rng.next_below(pool)]);
+  }
+  return centroids;
+}
+
+JobSpec KMeansDriver::job_for(
+    const std::vector<std::pair<float, float>>& centroids,
+    std::size_t num_reducers) const {
+  JobSpec job;
+  job.name = "k-means";
+  job.num_reducers = num_reducers;
+  // Exact (bit-level) centroid serialization: the params digest must be
+  // identical iff the centroids are.
+  std::string params;
+  params.reserve(centroids.size() * 16);
+  for (const auto& [x, y] : centroids) {
+    char buf[32];
+    std::uint32_t xb, yb;
+    std::memcpy(&xb, &x, 4);
+    std::memcpy(&yb, &y, 4);
+    std::snprintf(buf, sizeof(buf), "%08x%08x;", xb, yb);
+    params += buf;
+  }
+  job.params_digest = params;
+  const auto cents = centroids;  // captured by value
+  job.map_fn = [cents](const Split& split, MapEmitter& emitter) {
+    // Partial sums per centroid: sx, sy, n.
+    std::vector<double> sx(cents.size(), 0), sy(cents.size(), 0);
+    std::vector<std::uint64_t> n(cents.size(), 0);
+    const auto points = decode_points(as_bytes(split.data));
+    for (const auto& [px, py] : points) {
+      std::size_t best = 0;
+      double best_d = 1e300;
+      for (std::size_t c = 0; c < cents.size(); ++c) {
+        const double dx = static_cast<double>(px) - cents[c].first;
+        const double dy = static_cast<double>(py) - cents[c].second;
+        const double d = dx * dx + dy * dy;
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      sx[best] += px;
+      sy[best] += py;
+      n[best] += 1;
+    }
+    for (std::size_t c = 0; c < cents.size(); ++c) {
+      if (n[c] == 0) continue;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%.17g,%.17g,%llu", sx[c], sy[c],
+                    static_cast<unsigned long long>(n[c]));
+      emitter.emit(std::to_string(c), buf);
+    }
+  };
+  job.reduce_fn = [](const std::string&, const std::vector<std::string>& vs) {
+    double sx = 0, sy = 0;
+    std::uint64_t n = 0;
+    for (const auto& v : vs) {
+      double psx = 0, psy = 0;
+      unsigned long long pn = 0;
+      std::sscanf(v.c_str(), "%lg,%lg,%llu", &psx, &psy, &pn);
+      sx += psx;
+      sy += psy;
+      n += pn;
+    }
+    if (n == 0) return std::string("nan,nan");
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g,%.9g",
+                  sx / static_cast<double>(n), sy / static_cast<double>(n));
+    return std::string(buf);
+  };
+  // Combiner keeps the partial-sum form (sx, sy, n) so it stays associative;
+  // only the final reduce normalizes to a centroid.
+  job.combine_fn = [](const std::string&, const std::vector<std::string>& vs) {
+    double sx = 0, sy = 0;
+    std::uint64_t n = 0;
+    for (const auto& v : vs) {
+      double psx = 0, psy = 0;
+      unsigned long long pn = 0;
+      std::sscanf(v.c_str(), "%lg,%lg,%llu", &psx, &psy, &pn);
+      sx += psx;
+      sy += psy;
+      n += pn;
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%.17g,%.17g,%llu", sx, sy,
+                  static_cast<unsigned long long>(n));
+    return std::string(buf);
+  };
+  return job;
+}
+
+KMeansDriver::Result KMeansDriver::run(MapReduceEngine& engine,
+                                       const std::vector<Split>& splits,
+                                       MemoServer* memo,
+                                       const std::vector<std::pair<float, float>>*
+                                           warm_start) const {
+  Result result;
+  auto centroids = warm_start != nullptr && warm_start->size() == k_
+                       ? *warm_start
+                       : initial_centroids(splits);
+  std::vector<std::pair<float, float>> last_params;
+  for (unsigned iter = 0; iter < max_iterations_; ++iter) {
+    const JobSpec job = job_for(centroids);
+    last_params = centroids;
+    const JobResult jr = engine.run(job, splits, memo);
+    result.aggregate_stats.map_tasks += jr.stats.map_tasks;
+    result.aggregate_stats.map_reused += jr.stats.map_reused;
+    result.aggregate_stats.reduce_tasks += jr.stats.reduce_tasks;
+    result.aggregate_stats.reduce_reused += jr.stats.reduce_reused;
+    result.aggregate_stats.wall_seconds += jr.stats.wall_seconds;
+    ++result.iterations;
+    auto next = centroids;
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      const auto it = jr.output.find(std::to_string(c));
+      if (it == jr.output.end()) continue;  // empty cluster keeps centroid
+      float x = 0, y = 0;
+      std::sscanf(it->second.c_str(), "%g,%g", &x, &y);
+      if (!std::isnan(x) && !std::isnan(y)) next[c] = {x, y};
+    }
+    // Epsilon convergence: exact float equality can ping-pong forever, and
+    // a single boundary point flipping between clusters moves a mean by
+    // ~spacing/cluster_size, so the threshold sits above that noise.
+    double moved = 0;
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      moved = std::max(
+          {moved, std::abs(static_cast<double>(next[c].first) -
+                           centroids[c].first),
+           std::abs(static_cast<double>(next[c].second) - centroids[c].second)});
+    }
+    if (moved < 0.1) break;
+    centroids = std::move(next);
+  }
+  // Return the params of the LAST EXECUTED job (not its output): a warm
+  // start from these centroids replays a job whose map results are already
+  // memoized, which is what makes the incremental rerun cheap.
+  result.centroids = std::move(last_params);
+  return result;
+}
+
+}  // namespace shredder::inchdfs

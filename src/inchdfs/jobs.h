@@ -1,0 +1,62 @@
+// The three MapReduce applications of the paper's Figure 15: Word-Count,
+// Co-occurrence Matrix, and K-means clustering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "inchdfs/mapreduce.h"
+
+namespace shredder::inchdfs {
+
+// Word-Count: map tokenizes and locally combines, reduce sums.
+JobSpec make_wordcount_job(std::size_t num_reducers = 8);
+
+// Co-occurrence Matrix: counts ordered word pairs within a sliding window of
+// `window` following words (window >= 1). Map-heavy.
+JobSpec make_cooccurrence_job(unsigned window, std::size_t num_reducers = 8);
+
+// K-means over 2-D float points (8-byte records, FixedRecordInputFormat).
+// Each iteration is one MapReduce job whose params_digest encodes the
+// centroids, so memoization is valid per iteration.
+class KMeansDriver {
+ public:
+  KMeansDriver(unsigned k, unsigned max_iterations, std::uint64_t seed);
+
+  struct Result {
+    std::vector<std::pair<float, float>> centroids;
+    unsigned iterations = 0;
+    JobStats aggregate_stats;  // summed over iterations
+  };
+
+  // Runs to convergence (or max_iterations) over `splits`; memo may be
+  // null. `warm_start` seeds the iteration with a previous run's converged
+  // centroids — the incremental-iterative pattern: a warm start over
+  // little-changed data converges in a fraction of the iterations AND its
+  // first iteration's map tasks hit the memo (the priming run's final
+  // iteration used the same params over mostly the same splits).
+  Result run(MapReduceEngine& engine, const std::vector<Split>& splits,
+             MemoServer* memo,
+             const std::vector<std::pair<float, float>>* warm_start =
+                 nullptr) const;
+
+  // One iteration's JobSpec for the given centroids (exposed for tests).
+  JobSpec job_for(const std::vector<std::pair<float, float>>& centroids,
+                  std::size_t num_reducers = 4) const;
+
+  // Forgy-style initialization from the data itself: k points sampled
+  // deterministically (by `seed`) from the first split. Both the baseline
+  // and the incremental run see the same leading bytes, so their centroid
+  // trajectories coincide and memoized iterations match.
+  std::vector<std::pair<float, float>> initial_centroids(
+      const std::vector<Split>& splits) const;
+
+ private:
+  unsigned k_;
+  unsigned max_iterations_;
+  std::uint64_t seed_;
+};
+
+}  // namespace shredder::inchdfs

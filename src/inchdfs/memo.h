@@ -1,0 +1,73 @@
+// Memoization server (paper §6.1): the fine-grained result-reuse store that
+// Incoop consults before executing a task.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dedup/sha1.h"
+
+namespace shredder::inchdfs {
+
+struct KeyValue;
+
+// Immutable memoized map-task output: one bucket per reducer plus digests.
+struct MemoizedMapOutput {
+  std::vector<std::vector<KeyValue>> buckets;
+  std::vector<dedup::Sha1Digest> bucket_digests;
+};
+
+// Immutable memoized contraction-tree node: a combined bucket.
+struct MemoizedCombine {
+  std::vector<KeyValue> kvs;
+  dedup::Sha1Digest digest;  // content digest of kvs
+};
+
+class MemoServer {
+ public:
+  using MapOutputPtr = std::shared_ptr<const MemoizedMapOutput>;
+
+  MapOutputPtr get_map(const dedup::Sha1Digest& key);
+  void put_map(const dedup::Sha1Digest& key, MapOutputPtr value);
+
+  std::optional<std::map<std::string, std::string>> get_reduce(
+      const dedup::Sha1Digest& key);
+  void put_reduce(const dedup::Sha1Digest& key,
+                  std::map<std::string, std::string> value);
+
+  using CombinePtr = std::shared_ptr<const MemoizedCombine>;
+  CombinePtr get_combine(const dedup::Sha1Digest& key);
+  void put_combine(const dedup::Sha1Digest& key, CombinePtr value);
+  std::uint64_t combine_hits() const;
+  std::uint64_t combine_misses() const;
+
+  std::uint64_t map_hits() const;
+  std::uint64_t map_misses() const;
+  std::uint64_t reduce_hits() const;
+  std::uint64_t reduce_misses() const;
+  std::uint64_t entries() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<dedup::Sha1Digest, MapOutputPtr, dedup::Sha1DigestHash>
+      map_memo_;
+  std::unordered_map<dedup::Sha1Digest, std::map<std::string, std::string>,
+                     dedup::Sha1DigestHash>
+      reduce_memo_;
+  std::unordered_map<dedup::Sha1Digest, CombinePtr, dedup::Sha1DigestHash>
+      combine_memo_;
+  std::uint64_t combine_hits_ = 0;
+  std::uint64_t combine_misses_ = 0;
+  std::uint64_t map_hits_ = 0;
+  std::uint64_t map_misses_ = 0;
+  std::uint64_t reduce_hits_ = 0;
+  std::uint64_t reduce_misses_ = 0;
+};
+
+}  // namespace shredder::inchdfs

@@ -1,0 +1,118 @@
+#include "inchdfs/textgen.h"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace shredder::inchdfs {
+
+std::string make_text_corpus(std::uint64_t bytes, std::uint64_t seed) {
+  return random_text(bytes, seed);
+}
+
+std::string mutate_text_corpus(const std::string& corpus, double fraction,
+                               std::uint64_t seed, unsigned edit_regions) {
+  if (edit_regions == 0) {
+    throw std::invalid_argument("mutate_text_corpus: edit_regions >= 1");
+  }
+  // Average word is ~6 characters in the generated corpus.
+  const double chars = fraction * static_cast<double>(corpus.size());
+  const auto run_words = static_cast<std::size_t>(
+      std::max(1.0, chars / (6.0 * static_cast<double>(edit_regions))));
+  return mutate_text(corpus, fraction, seed, run_words);
+}
+
+namespace {
+
+std::pair<float, float> cluster_centre(unsigned cluster) {
+  // Deterministic centres on a coarse grid, well separated relative to the
+  // unit noise below.
+  const float x = static_cast<float>((cluster % 8) * 100 + 50);
+  const float y = static_cast<float>((cluster / 8) * 100 + 50);
+  return {x, y};
+}
+
+void write_point(std::uint8_t* dst, float x, float y) {
+  std::memcpy(dst, &x, 4);
+  std::memcpy(dst + 4, &y, 4);
+}
+
+std::pair<float, float> draw_point(SplitMix64& rng, unsigned clusters) {
+  const auto c = static_cast<unsigned>(rng.next_below(clusters));
+  const auto [cx, cy] = cluster_centre(c);
+  // Box-Muller-free noise: sum of uniforms, +-10 around the centre.
+  const float nx = static_cast<float>(rng.next_double() + rng.next_double() +
+                                      rng.next_double() - 1.5) *
+                   10.0f;
+  const float ny = static_cast<float>(rng.next_double() + rng.next_double() +
+                                      rng.next_double() - 1.5) *
+                   10.0f;
+  return {cx + nx, cy + ny};
+}
+
+}  // namespace
+
+ByteVec make_points_blob(std::uint64_t n_points, unsigned clusters,
+                         std::uint64_t seed) {
+  if (clusters == 0) {
+    throw std::invalid_argument("make_points_blob: clusters must be >= 1");
+  }
+  ByteVec blob(n_points * 8);
+  SplitMix64 rng(seed);
+  for (std::uint64_t i = 0; i < n_points; ++i) {
+    const auto [x, y] = draw_point(rng, clusters);
+    write_point(blob.data() + i * 8, x, y);
+  }
+  return blob;
+}
+
+ByteVec mutate_points_blob(const ByteVec& blob, double fraction,
+                           std::uint64_t seed, unsigned edit_regions) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("mutate_points_blob: fraction in [0,1]");
+  }
+  if (blob.size() % 8 != 0) {
+    throw std::invalid_argument("mutate_points_blob: blob not record-aligned");
+  }
+  ByteVec out = blob;
+  const std::uint64_t n_points = blob.size() / 8;
+  if (n_points == 0 || fraction == 0.0) return out;
+  SplitMix64 rng(seed);
+  if (edit_regions == 0) {
+    throw std::invalid_argument("mutate_points_blob: edit_regions >= 1");
+  }
+  const auto target =
+      static_cast<std::uint64_t>(fraction * static_cast<double>(n_points));
+  std::uint64_t mutated = 0;
+  const std::uint64_t run =
+      std::max<std::uint64_t>(1, target / edit_regions);  // points per edit
+  while (mutated < target) {
+    const std::uint64_t len = std::min(run, target - mutated);
+    const std::uint64_t start = rng.next_below(n_points);
+    for (std::uint64_t i = 0; i < len && start + i < n_points; ++i) {
+      const auto [x, y] = draw_point(rng, 8);
+      write_point(out.data() + (start + i) * 8, x, y);
+    }
+    mutated += len;
+  }
+  return out;
+}
+
+std::vector<std::pair<float, float>> decode_points(ByteSpan data) {
+  if (data.size() % 8 != 0) {
+    throw std::invalid_argument("decode_points: not record-aligned");
+  }
+  std::vector<std::pair<float, float>> out;
+  out.reserve(data.size() / 8);
+  for (std::size_t off = 0; off + 8 <= data.size(); off += 8) {
+    float x, y;
+    std::memcpy(&x, data.data() + off, 4);
+    std::memcpy(&y, data.data() + off + 4, 4);
+    out.emplace_back(x, y);
+  }
+  return out;
+}
+
+}  // namespace shredder::inchdfs

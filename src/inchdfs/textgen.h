@@ -1,0 +1,37 @@
+// Workload generators for the incremental-computation case study (Fig 15):
+// text corpora for Word-Count / Co-occurrence and clustered point sets for
+// K-means, plus mutators that model the "x% of the input changed between
+// consecutive runs" axis of the figure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace shredder::inchdfs {
+
+// English-like text corpus (see common/rng.h).
+std::string make_text_corpus(std::uint64_t bytes, std::uint64_t seed);
+
+// Rewrites ~`fraction` of the corpus in a handful of localized word-aligned
+// runs (the Figure 15 change model: consecutive runs of a job see a few
+// regions of the input replaced, not uniform noise).
+std::string mutate_text_corpus(const std::string& corpus, double fraction,
+                               std::uint64_t seed, unsigned edit_regions = 4);
+
+// 2-D points (two float32 per record, 8 bytes) drawn around `clusters`
+// deterministic cluster centres.
+ByteVec make_points_blob(std::uint64_t n_points, unsigned clusters,
+                         std::uint64_t seed);
+
+// Replaces ~`fraction` of the points in a handful of contiguous record-
+// aligned runs with freshly drawn points.
+ByteVec mutate_points_blob(const ByteVec& blob, double fraction,
+                           std::uint64_t seed, unsigned edit_regions = 4);
+
+// Decodes a record-aligned byte range into (x, y) pairs.
+std::vector<std::pair<float, float>> decode_points(ByteSpan data);
+
+}  // namespace shredder::inchdfs

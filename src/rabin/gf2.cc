@@ -1,0 +1,129 @@
+#include "rabin/gf2.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace shredder::rabin {
+
+int gf2_degree(Gf2Poly p) noexcept {
+  if (p == 0) return -1;
+  int deg = 0;
+  const auto hi = static_cast<std::uint64_t>(p >> 64);
+  if (hi != 0) {
+    deg = 64 + (63 - __builtin_clzll(hi));
+  } else {
+    deg = 63 - __builtin_clzll(static_cast<std::uint64_t>(p));
+  }
+  return deg;
+}
+
+Gf2Poly gf2_mod(Gf2Poly a, Gf2Poly b) {
+  if (b == 0) throw std::invalid_argument("gf2_mod: division by zero");
+  const int db = gf2_degree(b);
+  int da = gf2_degree(a);
+  while (da >= db) {
+    a ^= b << (da - db);
+    da = gf2_degree(a);
+  }
+  return a;
+}
+
+Gf2Poly gf2_mul(Gf2Poly a, Gf2Poly b) {
+  if (gf2_degree(a) > 63 || gf2_degree(b) > 63) {
+    throw std::invalid_argument("gf2_mul: operands must have degree <= 63");
+  }
+  Gf2Poly result = 0;
+  while (b != 0) {
+    if (b & 1) result ^= a;
+    a <<= 1;
+    b >>= 1;
+  }
+  return result;
+}
+
+Gf2Poly gf2_mulmod(Gf2Poly a, Gf2Poly b, Gf2Poly m) {
+  if (gf2_degree(m) > 64) {
+    throw std::invalid_argument("gf2_mulmod: modulus degree must be <= 64");
+  }
+  return gf2_mod(gf2_mul(gf2_mod(a, m), gf2_mod(b, m)), m);
+}
+
+Gf2Poly gf2_gcd(Gf2Poly a, Gf2Poly b) noexcept {
+  while (b != 0) {
+    // gf2_mod cannot throw here because b != 0.
+    Gf2Poly r = a;
+    const int db = gf2_degree(b);
+    int dr = gf2_degree(r);
+    while (dr >= db) {
+      r ^= b << (dr - db);
+      dr = gf2_degree(r);
+    }
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+Gf2Poly gf2_pow2k_x_mod(unsigned k, Gf2Poly m) {
+  Gf2Poly h = 2;  // the polynomial x
+  h = gf2_mod(h, m);
+  for (unsigned i = 0; i < k; ++i) {
+    h = gf2_mulmod(h, h, m);
+  }
+  return h;
+}
+
+namespace {
+
+std::vector<unsigned> prime_divisors(unsigned n) {
+  std::vector<unsigned> out;
+  for (unsigned p = 2; p * p <= n; ++p) {
+    if (n % p == 0) {
+      out.push_back(p);
+      while (n % p == 0) n /= p;
+    }
+  }
+  if (n > 1) out.push_back(n);
+  return out;
+}
+
+}  // namespace
+
+bool gf2_is_irreducible(Gf2Poly f) {
+  const int n = gf2_degree(f);
+  if (n < 1) return false;
+  if (n == 1) return true;  // x and x+1
+  // Constant term must be 1, otherwise x divides f.
+  if ((f & 1) == 0) return false;
+  // x^(2^n) == x (mod f)
+  const Gf2Poly x = 2;
+  if (gf2_pow2k_x_mod(static_cast<unsigned>(n), f) != gf2_mod(x, f)) {
+    return false;
+  }
+  for (unsigned q : prime_divisors(static_cast<unsigned>(n))) {
+    const Gf2Poly h = gf2_pow2k_x_mod(static_cast<unsigned>(n) / q, f) ^ gf2_mod(x, f);
+    if (gf2_degree(gf2_gcd(f, h)) != 0) return false;
+  }
+  return true;
+}
+
+Gf2Poly gf2_random_irreducible(int degree, std::uint64_t seed) {
+  if (degree < 2 || degree > 64) {
+    throw std::invalid_argument("gf2_random_irreducible: degree in [2,64]");
+  }
+  SplitMix64 rng(seed);
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    Gf2Poly candidate = rng.next();
+    if (degree < 64) {
+      candidate &= (Gf2Poly(1) << degree) - 1;
+    }
+    candidate |= Gf2Poly(1) << degree;  // leading coefficient
+    candidate |= 1;                     // constant term (required)
+    if (gf2_is_irreducible(candidate)) return candidate;
+  }
+  throw std::runtime_error("gf2_random_irreducible: no polynomial found");
+}
+
+}  // namespace shredder::rabin

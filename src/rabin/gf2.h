@@ -1,0 +1,44 @@
+// Polynomial arithmetic over GF(2) (each bit is a coefficient).
+//
+// This is the mathematical substrate of Rabin fingerprinting (paper §2.1,
+// eq. 1): a byte stream is a polynomial over GF(2) and its fingerprint is the
+// residue modulo a fixed irreducible polynomial. We support polynomials up to
+// degree 127 via unsigned __int128, which covers the degree-64 fingerprint
+// modulus plus all intermediate products of 64-bit residues.
+#pragma once
+
+#include <cstdint>
+
+namespace shredder::rabin {
+
+using Gf2Poly = unsigned __int128;
+
+// Degree of p (index of highest set bit); degree of the zero polynomial is -1.
+int gf2_degree(Gf2Poly p) noexcept;
+
+// a mod b. b must be non-zero.
+Gf2Poly gf2_mod(Gf2Poly a, Gf2Poly b);
+
+// Carry-less product a*b. Both inputs must have degree <= 63 so the result
+// fits in 128 bits.
+Gf2Poly gf2_mul(Gf2Poly a, Gf2Poly b);
+
+// (a*b) mod m, for a, b already reduced mod m and deg(m) <= 64.
+Gf2Poly gf2_mulmod(Gf2Poly a, Gf2Poly b, Gf2Poly m);
+
+// Greatest common divisor.
+Gf2Poly gf2_gcd(Gf2Poly a, Gf2Poly b) noexcept;
+
+// x^(2^k) mod m, by repeated squaring.
+Gf2Poly gf2_pow2k_x_mod(unsigned k, Gf2Poly m);
+
+// Rabin's irreducibility test: f (degree n >= 1, explicit leading bit) is
+// irreducible over GF(2) iff x^(2^n) == x (mod f) and, for each prime divisor
+// q of n, gcd(f, x^(2^(n/q)) - x) == 1.
+bool gf2_is_irreducible(Gf2Poly f);
+
+// Finds a random irreducible polynomial of the given degree (2..64),
+// deterministically from `seed`. Returned with the explicit leading bit set.
+Gf2Poly gf2_random_irreducible(int degree, std::uint64_t seed);
+
+}  // namespace shredder::rabin

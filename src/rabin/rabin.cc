@@ -1,0 +1,61 @@
+#include "rabin/rabin.h"
+
+#include <stdexcept>
+
+#include "rabin/gf2.h"
+
+namespace shredder::rabin {
+
+namespace {
+
+// Full modulus with the implicit x^64 bit made explicit.
+Gf2Poly full_poly(std::uint64_t low64) {
+  return (Gf2Poly(1) << 64) | Gf2Poly(low64);
+}
+
+}  // namespace
+
+RabinTables::RabinTables(std::size_t window_bytes, std::uint64_t poly_low64)
+    : window_(window_bytes), poly_(poly_low64) {
+  if (window_bytes == 0) {
+    throw std::invalid_argument("RabinTables: window must be >= 1");
+  }
+  const Gf2Poly p = full_poly(poly_low64);
+  if (!gf2_is_irreducible(p)) {
+    throw std::invalid_argument("RabinTables: polynomial is not irreducible");
+  }
+
+  // push_table[t] = t * x^64 mod P for the byte t shifted out of bits 56..63.
+  for (unsigned t = 0; t < 256; ++t) {
+    const Gf2Poly v = gf2_mod(Gf2Poly(t) << 64, p);
+    push_table_[t] = static_cast<std::uint64_t>(v);
+  }
+
+  // pop_table[b] = b * x^(8*(w-1)) mod P. Build x^(8*(w-1)) mod P by repeated
+  // byte shifts so no large exponent object is needed.
+  Gf2Poly x_pow = 1;  // x^0
+  for (std::size_t i = 0; i + 1 < window_bytes; ++i) {
+    x_pow = gf2_mod(x_pow << 8, p);
+  }
+  for (unsigned b = 0; b < 256; ++b) {
+    const Gf2Poly v = gf2_mod(gf2_mul(Gf2Poly(b), x_pow), p);
+    pop_table_[b] = static_cast<std::uint64_t>(v);
+  }
+}
+
+std::uint64_t RabinTables::fingerprint(ByteSpan data) const noexcept {
+  std::uint64_t fp = 0;
+  for (std::uint8_t b : data) fp = push(fp, b);
+  return fp;
+}
+
+RabinWindow::RabinWindow(const RabinTables& tables)
+    : tables_(&tables), ring_(tables.window(), 0) {}
+
+void RabinWindow::reset() noexcept {
+  pos_ = 0;
+  filled_ = 0;
+  fp_ = 0;
+}
+
+}  // namespace shredder::rabin

@@ -1,0 +1,95 @@
+// Table-driven Rabin fingerprinting over a sliding window (paper §2.1).
+//
+// The fingerprint of a byte sequence is its residue modulo an irreducible
+// degree-64 polynomial P (the leading x^64 coefficient is implicit; `poly()`
+// returns the low 64 bits). Two 256-entry tables make both appending a byte
+// and expiring the oldest window byte O(1):
+//
+//   push_table[t] = (t * x^64)        mod P   (reduction of the byte shifted
+//                                              out of the 64-bit register)
+//   pop_table[b]  = (b * x^(8*(w-1))) mod P   (contribution of the byte
+//                                              leaving a w-byte window)
+//
+// RabinTables is immutable after construction and safe to share across
+// threads; RabinWindow is a small per-thread cursor.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace shredder::rabin {
+
+// Low 64 bits of the default degree-64 irreducible polynomial (the x^64
+// coefficient is implicit). Found with gf2_random_irreducible and verified
+// by Rabin's irreducibility test at table construction. (The classic LBFS
+// constant 0xbfe6b8a5bf378d83 is a degree-63 polynomial with an explicit
+// leading bit; we use full 64-bit residues instead, which keeps the
+// byte-push reduction branch-free.)
+inline constexpr std::uint64_t kDefaultPoly = 0xfd845ef300ce2d0bull;
+
+class RabinTables {
+ public:
+  // window_bytes is the sliding-window size w (the paper uses 48).
+  // poly_low64 are the low 64 bits of an irreducible degree-64 polynomial.
+  // Throws std::invalid_argument for w == 0 or a reducible polynomial.
+  explicit RabinTables(std::size_t window_bytes = 48,
+                       std::uint64_t poly_low64 = kDefaultPoly);
+
+  std::size_t window() const noexcept { return window_; }
+  std::uint64_t poly() const noexcept { return poly_; }
+
+  // fp' = (fp * x^8 + b) mod P
+  std::uint64_t push(std::uint64_t fp, std::uint8_t b) const noexcept {
+    const std::uint8_t shifted_out = static_cast<std::uint8_t>(fp >> 56);
+    return ((fp << 8) | b) ^ push_table_[shifted_out];
+  }
+
+  // Removes the contribution of the byte that is leaving a full window.
+  std::uint64_t pop(std::uint64_t fp, std::uint8_t oldest) const noexcept {
+    return fp ^ pop_table_[oldest];
+  }
+
+  // Fingerprint of an entire buffer (no window), for tests and whole-chunk
+  // fingerprints.
+  std::uint64_t fingerprint(ByteSpan data) const noexcept;
+
+ private:
+  std::size_t window_;
+  std::uint64_t poly_;
+  std::array<std::uint64_t, 256> push_table_;
+  std::array<std::uint64_t, 256> pop_table_;
+};
+
+// Sliding-window cursor. push() returns the fingerprint of the last
+// min(window, #bytes pushed) bytes.
+class RabinWindow {
+ public:
+  explicit RabinWindow(const RabinTables& tables);
+
+  std::uint64_t push(std::uint8_t b) noexcept {
+    if (filled_ == tables_->window()) {
+      fp_ = tables_->pop(fp_, ring_[pos_]);
+    } else {
+      ++filled_;
+    }
+    ring_[pos_] = b;
+    pos_ = pos_ + 1 == tables_->window() ? 0 : pos_ + 1;
+    fp_ = tables_->push(fp_, b);
+    return fp_;
+  }
+
+  std::uint64_t value() const noexcept { return fp_; }
+  bool full() const noexcept { return filled_ == tables_->window(); }
+  void reset() noexcept;
+
+ private:
+  const RabinTables* tables_;
+  ByteVec ring_;
+  std::size_t pos_ = 0;
+  std::size_t filled_ = 0;
+  std::uint64_t fp_ = 0;
+};
+
+}  // namespace shredder::rabin

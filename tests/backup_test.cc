@@ -1,0 +1,241 @@
+// Tests for the cloud-backup case study: image repository + similarity
+// table, backup agent protocol, and the end-to-end dedup backup server.
+#include <gtest/gtest.h>
+
+#include "backup/agent.h"
+#include "backup/backup_server.h"
+#include "backup/image.h"
+#include "common/rng.h"
+
+namespace shredder::backup {
+namespace {
+
+ImageRepoConfig small_repo_config() {
+  ImageRepoConfig c;
+  c.image_bytes = 4 * 1024 * 1024;
+  c.segment_bytes = 256 * 1024;
+  c.seed = 99;
+  return c;
+}
+
+BackupServerConfig small_server_config(ChunkerBackend backend) {
+  BackupServerConfig c;
+  c.backend = backend;
+  c.chunker.window = 32;
+  c.chunker.mask_bits = 11;  // ~2 KB chunks for test density
+  c.chunker.marker = 0x42;
+  c.chunker.min_size = 512;
+  c.chunker.max_size = 8 * 1024;
+  c.shredder.buffer_bytes = 512 * 1024;
+  c.shredder.sim_threads = 4;
+  c.cpu_threads = 4;
+  return c;
+}
+
+// --- ImageRepository ---
+
+TEST(ImageRepository, SnapshotZeroProbabilityIsMaster) {
+  ImageRepository repo(small_repo_config());
+  const auto snap = repo.snapshot(0.0, 1);
+  EXPECT_TRUE(std::equal(snap.begin(), snap.end(), repo.master().begin(),
+                         repo.master().end()));
+}
+
+TEST(ImageRepository, SnapshotOneReplacesEverySegment) {
+  ImageRepository repo(small_repo_config());
+  const auto snap = repo.snapshot(1.0, 1);
+  const auto master = repo.master();
+  // Every segment must differ somewhere.
+  const auto seg = small_repo_config().segment_bytes;
+  for (std::uint64_t s = 0; s < repo.num_segments(); ++s) {
+    const std::size_t begin = static_cast<std::size_t>(s * seg);
+    const std::size_t end = std::min<std::size_t>(begin + seg, master.size());
+    EXPECT_FALSE(std::equal(snap.begin() + begin, snap.begin() + end,
+                            master.begin() + begin))
+        << "segment " << s;
+  }
+}
+
+TEST(ImageRepository, IntermediateProbabilityChangesRoughlyThatFraction) {
+  ImageRepoConfig cfg = small_repo_config();
+  cfg.image_bytes = 16 * 1024 * 1024;
+  cfg.segment_bytes = 64 * 1024;  // 256 segments
+  ImageRepository repo(cfg);
+  const auto snap = repo.snapshot(0.25, 7);
+  const auto master = repo.master();
+  std::uint64_t changed = 0;
+  for (std::uint64_t s = 0; s < repo.num_segments(); ++s) {
+    const std::size_t begin = static_cast<std::size_t>(s * cfg.segment_bytes);
+    const std::size_t end =
+        std::min<std::size_t>(begin + cfg.segment_bytes, master.size());
+    changed += !std::equal(snap.begin() + begin, snap.begin() + end,
+                           master.begin() + begin);
+  }
+  const double frac =
+      static_cast<double>(changed) / static_cast<double>(repo.num_segments());
+  EXPECT_GT(frac, 0.15);
+  EXPECT_LT(frac, 0.35);
+}
+
+TEST(ImageRepository, SnapshotsDeterministicPerId) {
+  ImageRepository repo(small_repo_config());
+  EXPECT_EQ(repo.snapshot(0.3, 5), repo.snapshot(0.3, 5));
+  EXPECT_NE(repo.snapshot(0.3, 5), repo.snapshot(0.3, 6));
+}
+
+TEST(ImageRepository, GenerationRate) {
+  ImageRepository repo(small_repo_config());
+  // 10 Gb/s == 1.25 GB/s.
+  EXPECT_NEAR(repo.generation_seconds(1250000000ull), 1.0, 1e-9);
+}
+
+TEST(ImageRepository, Validation) {
+  ImageRepoConfig bad = small_repo_config();
+  bad.segment_bytes = 0;
+  EXPECT_THROW(ImageRepository{bad}, std::invalid_argument);
+  bad = small_repo_config();
+  bad.segment_bytes = bad.image_bytes * 2;
+  EXPECT_THROW(ImageRepository{bad}, std::invalid_argument);
+  ImageRepository repo(small_repo_config());
+  EXPECT_THROW(repo.snapshot(-0.1, 0), std::invalid_argument);
+}
+
+// --- BackupAgent protocol ---
+
+TEST(BackupAgent, StoresAndRecreates) {
+  BackupAgent agent;
+  agent.begin_image("img");
+  const auto a = random_bytes(100, 1);
+  const auto b = random_bytes(50, 2);
+  agent.receive("img", {dedup::Sha1::hash(as_bytes(a)), a});
+  agent.receive("img", {dedup::Sha1::hash(as_bytes(b)), b});
+  // Duplicate chunk as pointer.
+  agent.receive("img", {dedup::Sha1::hash(as_bytes(a)), {}});
+  const auto out = agent.recreate("img");
+  ByteVec expect(a);
+  expect.insert(expect.end(), b.begin(), b.end());
+  expect.insert(expect.end(), a.begin(), a.end());
+  EXPECT_EQ(out, expect);
+  EXPECT_EQ(agent.unique_chunks(), 2u);
+}
+
+TEST(BackupAgent, PointerToUnknownChunkThrows) {
+  BackupAgent agent;
+  agent.begin_image("img");
+  EXPECT_THROW(
+      agent.receive("img", {dedup::Sha1::hash(as_bytes(random_bytes(8, 3))), {}}),
+      std::invalid_argument);
+}
+
+TEST(BackupAgent, UnknownImageThrows) {
+  BackupAgent agent;
+  EXPECT_THROW(agent.recreate("nope"), std::invalid_argument);
+  const auto a = random_bytes(8, 4);
+  EXPECT_THROW(agent.receive("nope", {dedup::Sha1::hash(as_bytes(a)), a}),
+               std::invalid_argument);
+}
+
+TEST(BackupAgent, DuplicateImageIdThrows) {
+  BackupAgent agent;
+  agent.begin_image("img");
+  EXPECT_THROW(agent.begin_image("img"), std::invalid_argument);
+}
+
+// --- BackupServer end-to-end ---
+
+class BackupBackends : public ::testing::TestWithParam<ChunkerBackend> {};
+
+TEST_P(BackupBackends, FirstBackupAllUniqueAndVerified) {
+  ImageRepository repo(small_repo_config());
+  BackupServer server(small_server_config(GetParam()));
+  BackupAgent agent;
+  const auto snap = repo.snapshot(0.0, 1);
+  const auto stats = server.backup_image("vm1", as_bytes(snap), repo, agent);
+  EXPECT_TRUE(stats.verified);
+  EXPECT_EQ(stats.duplicate_chunks, 0u);
+  EXPECT_EQ(stats.unique_bytes, snap.size());
+  EXPECT_GT(stats.backup_bandwidth_gbps, 0.0);
+}
+
+TEST_P(BackupBackends, SecondIdenticalSnapshotFullyDeduplicated) {
+  ImageRepository repo(small_repo_config());
+  BackupServer server(small_server_config(GetParam()));
+  BackupAgent agent;
+  const auto snap = repo.snapshot(0.0, 1);
+  server.backup_image("vm1", as_bytes(snap), repo, agent);
+  const auto stats = server.backup_image("vm2", as_bytes(snap), repo, agent);
+  EXPECT_TRUE(stats.verified);
+  EXPECT_EQ(stats.duplicate_chunks, stats.chunks);
+  EXPECT_EQ(stats.unique_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackupBackends,
+                         ::testing::Values(ChunkerBackend::kShredderGpu,
+                                           ChunkerBackend::kPthreadsCpu));
+
+TEST(BackupServer, MinMaxChunkSizesRespected) {
+  ImageRepository repo(small_repo_config());
+  BackupServer server(small_server_config(ChunkerBackend::kShredderGpu));
+  BackupAgent agent;
+  const auto snap = repo.snapshot(0.1, 1);
+  server.backup_image("vm1", as_bytes(snap), repo, agent);
+  // Recreate and re-chunk to check sizes; simpler: rely on config and check
+  // chunk count bounds: chunks >= bytes/max and <= bytes/min + 1.
+  const auto& cfg = server.config().chunker;
+  const auto stats = server.backup_image("vm2", as_bytes(snap), repo, agent);
+  EXPECT_GE(stats.chunks, snap.size() / cfg.max_size);
+  EXPECT_LE(stats.chunks, snap.size() / cfg.min_size + 1);
+}
+
+TEST(BackupServer, SimilarSnapshotMostlyDeduplicated) {
+  // 64 segments so a 10% change probability deterministically hits several.
+  ImageRepoConfig repo_cfg = small_repo_config();
+  repo_cfg.segment_bytes = 64 * 1024;
+  ImageRepository repo(repo_cfg);
+  BackupServer server(small_server_config(ChunkerBackend::kShredderGpu));
+  BackupAgent agent;
+  server.backup_image("vm1", as_bytes(repo.snapshot(0.0, 1)), repo, agent);
+  const auto snap2 = repo.snapshot(0.10, 2);
+  const auto stats = server.backup_image("vm2", as_bytes(snap2), repo, agent);
+  EXPECT_TRUE(stats.verified);
+  const double unique_frac = static_cast<double>(stats.unique_bytes) /
+                             static_cast<double>(stats.bytes);
+  EXPECT_GT(unique_frac, 0.03);
+  EXPECT_LT(unique_frac, 0.30);
+}
+
+TEST(BackupServer, GpuBeatsCpuBandwidth) {
+  // The Figure 18 headline: Shredder raises backup bandwidth ~2.5x because
+  // the CPU baseline is chunking-bound.
+  ImageRepository repo(small_repo_config());
+  BackupServer gpu_server(small_server_config(ChunkerBackend::kShredderGpu));
+  BackupServer cpu_server(small_server_config(ChunkerBackend::kPthreadsCpu));
+  BackupAgent agent_a, agent_b;
+  const auto base = repo.snapshot(0.0, 1);
+  gpu_server.backup_image("vm1", as_bytes(base), repo, agent_a);
+  cpu_server.backup_image("vm1", as_bytes(base), repo, agent_b);
+  const auto snap = repo.snapshot(0.10, 2);
+  const auto gpu_stats = gpu_server.backup_image("vm2", as_bytes(snap), repo, agent_a);
+  const auto cpu_stats = cpu_server.backup_image("vm2", as_bytes(snap), repo, agent_b);
+  // At this test scale (4 MB image, 2 KB chunks) the index stage is twice as
+  // expensive per byte as the paper's 4 KB configuration and pipeline
+  // startup penalizes the GPU path, so the margin is below the ~2.5x of
+  // Fig 18 (the full-scale bench reproduces that number).
+  EXPECT_GT(gpu_stats.backup_bandwidth_gbps,
+            1.4 * cpu_stats.backup_bandwidth_gbps);
+}
+
+TEST(BackupServer, BandwidthDecreasesWithDissimilarity) {
+  ImageRepository repo(small_repo_config());
+  BackupServer server(small_server_config(ChunkerBackend::kShredderGpu));
+  BackupAgent agent;
+  server.backup_image("base", as_bytes(repo.snapshot(0.0, 1)), repo, agent);
+  const auto low = server.backup_image(
+      "low", as_bytes(repo.snapshot(0.05, 2)), repo, agent);
+  const auto high = server.backup_image(
+      "high", as_bytes(repo.snapshot(0.60, 3)), repo, agent);
+  EXPECT_GT(low.backup_bandwidth_gbps, high.backup_bandwidth_gbps);
+}
+
+}  // namespace
+}  // namespace shredder::backup

@@ -1,0 +1,278 @@
+// Tests for the dedup substrate: SHA-1/SHA-256 against official vectors,
+// chunk index, content-addressed store, and the deduplicator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "chunking/cdc.h"
+#include "common/rng.h"
+#include "dedup/dedup.h"
+#include "dedup/index.h"
+#include "dedup/sha1.h"
+#include "dedup/sha256.h"
+#include "dedup/store.h"
+
+namespace shredder::dedup {
+namespace {
+
+ByteSpan str_bytes(const char* s) {
+  return {reinterpret_cast<const std::uint8_t*>(s), std::strlen(s)};
+}
+
+// --- SHA-1: FIPS 180-1 / RFC 3174 vectors ---
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(Sha1::hash({}).hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(Sha1::hash(str_bytes("abc")).hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha1::hash(str_bytes(
+                     "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))
+          .hex(),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  std::string a(1000000, 'a');
+  EXPECT_EQ(Sha1::hash(as_bytes(a)).hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const auto data = random_bytes(100000, 1);
+  Sha1 h;
+  std::size_t pos = 0;
+  SplitMix64 rng(2);
+  while (pos < data.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(1 + rng.next_below(300), data.size() - pos);
+    h.update(ByteSpan(data).subspan(pos, n));
+    pos += n;
+  }
+  EXPECT_EQ(h.finish(), Sha1::hash(as_bytes(data)));
+}
+
+TEST(Sha1, FinishResets) {
+  Sha1 h;
+  h.update(str_bytes("abc"));
+  h.finish();
+  h.update(str_bytes("abc"));
+  EXPECT_EQ(h.finish().hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, Prefix64MatchesHexPrefix) {
+  const auto d = Sha1::hash(str_bytes("abc"));
+  EXPECT_EQ(d.prefix64(), 0xa9993e364706816aull);
+}
+
+// --- SHA-256: FIPS 180-4 vectors ---
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(Sha256::hash({}).hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(Sha256::hash(str_bytes("abc")).hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha256::hash(str_bytes(
+                       "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))
+          .hex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  std::string a(1000000, 'a');
+  EXPECT_EQ(Sha256::hash(as_bytes(a)).hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const auto data = random_bytes(50000, 3);
+  Sha256 h;
+  std::size_t pos = 0;
+  SplitMix64 rng(4);
+  while (pos < data.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(1 + rng.next_below(177), data.size() - pos);
+    h.update(ByteSpan(data).subspan(pos, n));
+    pos += n;
+  }
+  EXPECT_EQ(h.finish(), Sha256::hash(as_bytes(data)));
+}
+
+// --- ChunkIndex ---
+
+TEST(ChunkIndex, LookupOrInsertSemantics) {
+  ChunkIndex index;
+  const auto d = Sha1::hash(str_bytes("chunk-1"));
+  EXPECT_FALSE(index.lookup_or_insert(d, {0, 100}).has_value());
+  const auto existing = index.lookup_or_insert(d, {999, 1});
+  ASSERT_TRUE(existing.has_value());
+  EXPECT_EQ(existing->store_offset, 0u);
+  EXPECT_EQ(existing->size, 100u);
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(ChunkIndex, LookupMiss) {
+  ChunkIndex index;
+  EXPECT_FALSE(index.lookup(Sha1::hash(str_bytes("nope"))).has_value());
+}
+
+TEST(ChunkIndex, ProbeAccountingAndVirtualCost) {
+  ChunkIndex index(1e-6);
+  const auto d = Sha1::hash(str_bytes("x"));
+  index.lookup_or_insert(d, {0, 1});
+  index.lookup(d);
+  index.lookup(d);
+  EXPECT_EQ(index.probes(), 3u);
+  EXPECT_NEAR(index.virtual_seconds(), 3e-6, 1e-12);
+}
+
+TEST(ChunkIndex, RejectsNegativeProbeCost) {
+  EXPECT_THROW(ChunkIndex(-1.0), std::invalid_argument);
+}
+
+TEST(ChunkIndex, ConcurrentInsertsExactlyOneWinner) {
+  ChunkIndex index;
+  const auto d = Sha1::hash(str_bytes("contested"));
+  std::atomic<int> inserted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 100; ++i) {
+        if (!index
+                 .lookup_or_insert(d, {static_cast<std::uint64_t>(t), 1})
+                 .has_value()) {
+          inserted++;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(inserted.load(), 1);
+  EXPECT_EQ(index.size(), 1u);
+}
+
+// --- ChunkStore ---
+
+TEST(ChunkStore, PutGetRoundTrip) {
+  ChunkStore store;
+  const auto data = random_bytes(1000, 5);
+  const auto d = Sha1::hash(as_bytes(data));
+  EXPECT_TRUE(store.put(d, as_bytes(data)));
+  EXPECT_FALSE(store.put(d, as_bytes(data)));  // duplicate
+  EXPECT_EQ(store.get(d).value(), data);
+  EXPECT_EQ(store.unique_chunks(), 1u);
+  EXPECT_EQ(store.unique_bytes(), 1000u);
+  EXPECT_EQ(store.total_refs(), 2u);
+}
+
+TEST(ChunkStore, GetMissing) {
+  ChunkStore store;
+  EXPECT_FALSE(store.get(Sha1::hash(str_bytes("missing"))).has_value());
+  EXPECT_FALSE(store.add_ref(Sha1::hash(str_bytes("missing"))));
+}
+
+TEST(ChunkStore, AddRefCounts) {
+  ChunkStore store;
+  const auto data = random_bytes(10, 6);
+  const auto d = Sha1::hash(as_bytes(data));
+  store.put(d, as_bytes(data));
+  EXPECT_TRUE(store.add_ref(d));
+  EXPECT_EQ(store.total_refs(), 2u);
+}
+
+// --- Deduplicator ---
+
+TEST(Deduplicator, FirstIngestAllUnique) {
+  const auto data = random_bytes(256 * 1024, 7);
+  chunking::ChunkerConfig cfg;
+  cfg.window = 16;
+  cfg.mask_bits = 8;
+  cfg.marker = 0x42;
+  const rabin::RabinTables tables(cfg.window);
+  const auto chunks = chunking::chunk_serial(tables, cfg, as_bytes(data));
+  Deduplicator dedup;
+  const auto stats = dedup.ingest(as_bytes(data), chunks);
+  EXPECT_EQ(stats.chunks_total, chunks.size());
+  EXPECT_EQ(stats.chunks_duplicate, 0u);
+  EXPECT_EQ(stats.bytes_total, data.size());
+  EXPECT_EQ(dedup.store().unique_bytes(), data.size());
+}
+
+TEST(Deduplicator, SecondIngestFullyDuplicate) {
+  const auto data = random_bytes(128 * 1024, 8);
+  chunking::ChunkerConfig cfg;
+  cfg.window = 16;
+  cfg.mask_bits = 8;
+  cfg.marker = 0x42;
+  const rabin::RabinTables tables(cfg.window);
+  const auto chunks = chunking::chunk_serial(tables, cfg, as_bytes(data));
+  Deduplicator dedup;
+  dedup.ingest(as_bytes(data), chunks);
+  const auto stats = dedup.ingest(as_bytes(data), chunks);
+  EXPECT_EQ(stats.bytes_duplicate, stats.bytes_total);
+  EXPECT_DOUBLE_EQ(stats.dedup_ratio(), 1.0);
+}
+
+TEST(Deduplicator, MutatedVersionMostlyDuplicate) {
+  // The end-to-end CDC dedup property on a 5% mutated payload.
+  const auto v1 = random_bytes(1 << 20, 9);
+  const auto v2 = mutate_bytes(as_bytes(v1), 0.05, 10);
+  chunking::ChunkerConfig cfg;
+  cfg.window = 32;
+  cfg.mask_bits = 11;  // ~2 KB chunks
+  cfg.marker = 0x42;
+  const rabin::RabinTables tables(cfg.window);
+  Deduplicator dedup;
+  dedup.ingest(as_bytes(v1), chunking::chunk_serial(tables, cfg, as_bytes(v1)));
+  const auto stats = dedup.ingest(
+      as_bytes(v2), chunking::chunk_serial(tables, cfg, as_bytes(v2)));
+  EXPECT_GT(stats.dedup_ratio(), 0.6);
+  EXPECT_LT(stats.dedup_ratio(), 1.0);
+}
+
+TEST(Deduplicator, RejectsOutOfRangeChunks) {
+  Deduplicator dedup;
+  const auto data = random_bytes(100, 11);
+  EXPECT_THROW(dedup.ingest(as_bytes(data), {{50, 100}}),
+               std::invalid_argument);
+}
+
+TEST(Deduplicator, ReconstructionFromStore) {
+  // Everything ingested can be reassembled from the content-addressed store:
+  // the backup-agent property.
+  const auto data = random_bytes(512 * 1024, 12);
+  chunking::ChunkerConfig cfg;
+  cfg.window = 16;
+  cfg.mask_bits = 9;
+  cfg.marker = 0x42;
+  const rabin::RabinTables tables(cfg.window);
+  const auto chunks = chunking::chunk_serial(tables, cfg, as_bytes(data));
+  Deduplicator dedup;
+  dedup.ingest(as_bytes(data), chunks);
+  ByteVec reassembled;
+  for (const auto& c : chunks) {
+    const auto payload = ByteSpan(data).subspan(c.offset, c.size);
+    const auto stored = dedup.store().get(Sha1::hash(payload));
+    ASSERT_TRUE(stored.has_value());
+    reassembled.insert(reassembled.end(), stored->begin(), stored->end());
+  }
+  EXPECT_EQ(reassembled, data);
+}
+
+}  // namespace
+}  // namespace shredder::dedup

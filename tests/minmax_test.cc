@@ -1,0 +1,180 @@
+// Property-based tests of the min/max post-filter (MinMaxFilter and
+// apply_min_max): invariants over randomized boundary streams and sweeps of
+// (min, max) parameter combinations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chunking/minmax.h"
+#include "common/rng.h"
+
+namespace shredder::chunking {
+namespace {
+
+TEST(MinMax, NoConstraintsPassesThrough) {
+  const std::vector<std::uint64_t> raw = {5, 17, 90};
+  const auto ends = apply_min_max(raw, 100, 0, 0);
+  EXPECT_EQ(ends, (std::vector<std::uint64_t>{5, 17, 90, 100}));
+}
+
+TEST(MinMax, FinalBoundaryAlwaysTotal) {
+  const auto ends = apply_min_max({}, 100, 0, 0);
+  EXPECT_EQ(ends, (std::vector<std::uint64_t>{100}));
+}
+
+TEST(MinMax, EmptyStream) {
+  EXPECT_TRUE(apply_min_max({}, 0, 0, 0).empty());
+}
+
+TEST(MinMax, MinFiltersCloseBoundaries) {
+  // 5 and 17 are < 20 apart from their predecessors; only 90 survives.
+  const auto ends = apply_min_max({5, 17, 90}, 100, 20, 0);
+  EXPECT_EQ(ends, (std::vector<std::uint64_t>{90, 100}));
+}
+
+TEST(MinMax, MinMeasuredFromLastAccepted) {
+  // 30 accepted; 45 is 15 past it (< 20, dropped); 55 is 25 past (kept).
+  const auto ends = apply_min_max({30, 45, 55}, 100, 20, 0);
+  EXPECT_EQ(ends, (std::vector<std::uint64_t>{30, 55, 100}));
+}
+
+TEST(MinMax, MaxForcesBoundaries) {
+  const auto ends = apply_min_max({}, 100, 0, 30);
+  EXPECT_EQ(ends, (std::vector<std::uint64_t>{30, 60, 90, 100}));
+}
+
+TEST(MinMax, MaxForcedBeforeRawBoundary) {
+  // Gap 0..80 exceeds max 30 twice before the raw boundary at 80.
+  const auto ends = apply_min_max({80}, 100, 0, 30);
+  EXPECT_EQ(ends, (std::vector<std::uint64_t>{30, 60, 80, 100}));
+}
+
+TEST(MinMax, MinAppliesAfterForcedBoundary) {
+  // Forced at 30; raw 35 is only 5 past it -> dropped with min 10.
+  const auto ends = apply_min_max({35}, 40, 10, 30);
+  EXPECT_EQ(ends, (std::vector<std::uint64_t>{30, 40}));
+}
+
+TEST(MinMax, RawAtTotalNotDuplicated) {
+  const auto ends = apply_min_max({50, 100}, 100, 0, 0);
+  EXPECT_EQ(ends, (std::vector<std::uint64_t>{50, 100}));
+}
+
+TEST(MinMax, RejectsMalformedInput) {
+  EXPECT_THROW(apply_min_max({10, 10}, 100, 0, 0), std::invalid_argument);
+  EXPECT_THROW(apply_min_max({20, 10}, 100, 0, 0), std::invalid_argument);
+  EXPECT_THROW(apply_min_max({150}, 100, 0, 0), std::invalid_argument);
+  EXPECT_THROW(apply_min_max({}, 100, 50, 20), std::invalid_argument);
+}
+
+TEST(MinMaxFilter, StreamingMatchesBatch) {
+  SplitMix64 rng(7);
+  std::vector<std::uint64_t> raw;
+  std::uint64_t pos = 0;
+  for (int i = 0; i < 500; ++i) {
+    pos += 1 + rng.next_below(400);
+    raw.push_back(pos);
+  }
+  const std::uint64_t total = pos + 123;
+  // Push one-by-one through the filter; compare against the batch helper.
+  std::vector<std::uint64_t> streamed;
+  MinMaxFilter filter(64, 512,
+                      [&](std::uint64_t e) { streamed.push_back(e); });
+  for (auto b : raw) filter.push(b);
+  filter.finish(total);
+  EXPECT_EQ(streamed, apply_min_max(raw, total, 64, 512));
+}
+
+TEST(MinMaxFilter, FinishTwiceThrows) {
+  MinMaxFilter filter(0, 0, [](std::uint64_t) {});
+  filter.finish(10);
+  EXPECT_THROW(filter.finish(10), std::invalid_argument);
+  EXPECT_THROW(filter.push(20), std::invalid_argument);
+}
+
+TEST(MinMaxFilter, RejectsNullEmit) {
+  EXPECT_THROW(MinMaxFilter(0, 0, nullptr), std::invalid_argument);
+}
+
+// ---- Property sweep: randomized raw streams x (min, max) grid ----
+
+struct MinMaxCase {
+  std::uint64_t min;
+  std::uint64_t max;
+  std::uint64_t seed;
+};
+
+class MinMaxProperties : public ::testing::TestWithParam<MinMaxCase> {};
+
+TEST_P(MinMaxProperties, Invariants) {
+  const auto param = GetParam();
+  SplitMix64 rng(param.seed);
+  std::vector<std::uint64_t> raw;
+  std::uint64_t pos = 0;
+  const int n = 200 + static_cast<int>(rng.next_below(300));
+  for (int i = 0; i < n; ++i) {
+    pos += 1 + rng.next_below(300);
+    raw.push_back(pos);
+  }
+  const std::uint64_t total = pos + rng.next_below(1000);
+
+  const auto ends = apply_min_max(raw, total, param.min, param.max);
+
+  // (1) Partition: ascending, last == total.
+  ASSERT_FALSE(ends.empty());
+  EXPECT_TRUE(std::is_sorted(ends.begin(), ends.end()));
+  EXPECT_EQ(std::adjacent_find(ends.begin(), ends.end()), ends.end());
+  EXPECT_EQ(ends.back(), total);
+
+  // (2) Size bounds.
+  std::uint64_t last = 0;
+  for (std::size_t i = 0; i < ends.size(); ++i) {
+    const std::uint64_t size = ends[i] - last;
+    if (param.max != 0) {
+      EXPECT_LE(size, param.max);
+    }
+    if (param.min != 0 && i + 1 != ends.size()) {
+      EXPECT_GE(size, std::min<std::uint64_t>(param.min, total)) << i;
+    }
+    last = ends[i];
+  }
+
+  // (3) Every output boundary is either a raw boundary or a forced multiple
+  //     of max measured from the previous accepted boundary.
+  last = 0;
+  for (std::uint64_t e : ends) {
+    const bool is_raw = std::binary_search(raw.begin(), raw.end(), e);
+    const bool is_forced = param.max != 0 && (e - last) == param.max;
+    const bool is_final = e == total;
+    EXPECT_TRUE(is_raw || is_forced || is_final) << "boundary " << e;
+    last = e;
+  }
+
+  // (4) Idempotence on the accepted boundaries (already satisfy min/max):
+  //     re-filtering the accepted set (minus total) yields the same result.
+  std::vector<std::uint64_t> again_input(ends.begin(), ends.end() - 1);
+  if (!again_input.empty() || total > 0) {
+    const auto again = apply_min_max(again_input, total, param.min, param.max);
+    EXPECT_EQ(again, ends);
+  }
+}
+
+std::vector<MinMaxCase> min_max_grid() {
+  std::vector<MinMaxCase> cases;
+  const std::uint64_t mins[] = {0, 1, 64, 200, 500};
+  const std::uint64_t maxs[] = {0, 256, 512, 1000};
+  std::uint64_t seed = 1;
+  for (auto mn : mins) {
+    for (auto mx : maxs) {
+      if (mx != 0 && mn > mx) continue;
+      cases.push_back({mn, mx, seed++});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MinMaxProperties,
+                         ::testing::ValuesIn(min_max_grid()));
+
+}  // namespace
+}  // namespace shredder::chunking

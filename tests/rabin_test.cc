@@ -1,0 +1,273 @@
+// Tests for GF(2) polynomial arithmetic and Rabin fingerprinting.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rabin/gf2.h"
+#include "rabin/rabin.h"
+
+namespace shredder::rabin {
+namespace {
+
+TEST(Gf2, Degree) {
+  EXPECT_EQ(gf2_degree(0), -1);
+  EXPECT_EQ(gf2_degree(1), 0);
+  EXPECT_EQ(gf2_degree(2), 1);
+  EXPECT_EQ(gf2_degree(0b1011), 3);
+  EXPECT_EQ(gf2_degree(Gf2Poly(1) << 64), 64);
+  EXPECT_EQ(gf2_degree(Gf2Poly(1) << 127), 127);
+}
+
+TEST(Gf2, ModBasics) {
+  // x^3 + x mod x^2 = x (x^3 = x*x^2; remainder is x).
+  EXPECT_EQ(gf2_mod(0b1010, 0b100), Gf2Poly(0b10));
+  // Anything mod itself is 0.
+  EXPECT_EQ(gf2_mod(0b1011, 0b1011), Gf2Poly(0));
+  // Degree of result < degree of modulus.
+  SplitMix64 rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Gf2Poly a = rng.next();
+    const Gf2Poly m = rng.next() | 0x100;
+    EXPECT_LT(gf2_degree(gf2_mod(a, m)), gf2_degree(m));
+  }
+}
+
+TEST(Gf2, ModByZeroThrows) {
+  EXPECT_THROW(gf2_mod(5, 0), std::invalid_argument);
+}
+
+TEST(Gf2, MulCommutesAndDistributes) {
+  SplitMix64 rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const Gf2Poly a = rng.next();
+    const Gf2Poly b = rng.next();
+    const Gf2Poly c = rng.next();
+    EXPECT_EQ(gf2_mul(a, b), gf2_mul(b, a));
+    EXPECT_EQ(gf2_mul(a, b ^ c), gf2_mul(a, b) ^ gf2_mul(a, c));
+  }
+}
+
+TEST(Gf2, MulIdentityAndZero) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Gf2Poly a = rng.next();
+    EXPECT_EQ(gf2_mul(a, 1), a);
+    EXPECT_EQ(gf2_mul(a, 0), Gf2Poly(0));
+  }
+}
+
+TEST(Gf2, MulByXIsShift) {
+  EXPECT_EQ(gf2_mul(0b1011, 0b10), Gf2Poly(0b10110));
+}
+
+TEST(Gf2, MulRejectsWideOperands) {
+  EXPECT_THROW(gf2_mul(Gf2Poly(1) << 64, 2), std::invalid_argument);
+}
+
+TEST(Gf2, MulModAssociates) {
+  SplitMix64 rng(4);
+  const Gf2Poly m = (Gf2Poly(1) << 64) | kDefaultPoly;
+  for (int i = 0; i < 100; ++i) {
+    const Gf2Poly a = rng.next();
+    const Gf2Poly b = rng.next();
+    const Gf2Poly c = rng.next();
+    EXPECT_EQ(gf2_mulmod(gf2_mulmod(a, b, m), c, m),
+              gf2_mulmod(a, gf2_mulmod(b, c, m), m));
+  }
+}
+
+TEST(Gf2, GcdBasics) {
+  EXPECT_EQ(gf2_gcd(0, 5), Gf2Poly(5));
+  EXPECT_EQ(gf2_gcd(5, 0), Gf2Poly(5));
+  EXPECT_EQ(gf2_gcd(6, 6), Gf2Poly(6));
+  // gcd(x^2+x, x) = x  (x^2+x = x(x+1))
+  EXPECT_EQ(gf2_gcd(0b110, 0b10), Gf2Poly(0b10));
+}
+
+TEST(Gf2, GcdDividesBoth) {
+  SplitMix64 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Gf2Poly a = rng.next() & 0xffffffff;
+    const Gf2Poly b = rng.next() & 0xffffffff;
+    if (a == 0 || b == 0) continue;
+    const Gf2Poly g = gf2_gcd(a, b);
+    EXPECT_EQ(gf2_mod(a, g), Gf2Poly(0));
+    EXPECT_EQ(gf2_mod(b, g), Gf2Poly(0));
+  }
+}
+
+TEST(Gf2, KnownIrreduciblePolynomials) {
+  // x^2 + x + 1, x^3 + x + 1, x^4 + x + 1 are classic irreducibles.
+  EXPECT_TRUE(gf2_is_irreducible(0b111));
+  EXPECT_TRUE(gf2_is_irreducible(0b1011));
+  EXPECT_TRUE(gf2_is_irreducible(0b10011));
+  // The classic LBFS constant is irreducible as an explicit degree-63
+  // polynomial.
+  EXPECT_TRUE(gf2_is_irreducible(Gf2Poly(0xbfe6b8a5bf378d83ull)));
+  // Our default degree-64 modulus (implicit leading bit).
+  EXPECT_TRUE(gf2_is_irreducible((Gf2Poly(1) << 64) | kDefaultPoly));
+}
+
+TEST(Gf2, KnownReduciblePolynomials) {
+  // x^2 + 1 = (x+1)^2 over GF(2).
+  EXPECT_FALSE(gf2_is_irreducible(0b101));
+  // x^2 + x = x(x+1).
+  EXPECT_FALSE(gf2_is_irreducible(0b110));
+  // Even constant term is divisible by x.
+  EXPECT_FALSE(gf2_is_irreducible(0b1010));
+}
+
+TEST(Gf2, IrreducibilityMatchesBruteForce) {
+  // Exhaustive check for all degree-2..10 polynomials against trial division
+  // by every polynomial of degree <= deg(p)/2.
+  for (unsigned p = 4; p < 2048; ++p) {
+    const int half = gf2_degree(p) / 2;
+    bool reducible = false;
+    for (unsigned d = 2; gf2_degree(d) <= half; ++d) {
+      if (gf2_mod(p, d) == 0) {
+        reducible = true;
+        break;
+      }
+    }
+    EXPECT_EQ(gf2_is_irreducible(p), !reducible) << "poly " << p;
+  }
+}
+
+TEST(Gf2, RandomIrreducibleHasRequestedDegree) {
+  for (int degree : {8, 16, 32, 53, 64}) {
+    const Gf2Poly p = gf2_random_irreducible(degree, 77);
+    EXPECT_EQ(gf2_degree(p), degree);
+    EXPECT_TRUE(gf2_is_irreducible(p));
+  }
+}
+
+TEST(Gf2, RandomIrreducibleRejectsBadDegree) {
+  EXPECT_THROW(gf2_random_irreducible(1, 1), std::invalid_argument);
+  EXPECT_THROW(gf2_random_irreducible(65, 1), std::invalid_argument);
+}
+
+// --- Rabin tables / windows ---
+
+TEST(RabinTables, RejectsBadArguments) {
+  EXPECT_THROW(RabinTables(0), std::invalid_argument);
+  // x^64 + x^2 + 1 is reducible (even weight).
+  EXPECT_THROW(RabinTables(48, 0x5), std::invalid_argument);
+}
+
+TEST(RabinTables, FingerprintMatchesPolynomialDefinition) {
+  // fp(data) must equal the data polynomial mod P computed with gf2_mod.
+  const RabinTables tables(8);
+  const auto data = random_bytes(16, 9);
+  // Build the data polynomial in 128-bit space byte by byte, reducing as we
+  // go (the data is longer than 64 bits).
+  const Gf2Poly p = (Gf2Poly(1) << 64) | Gf2Poly(tables.poly());
+  Gf2Poly ref = 0;
+  for (auto b : data) {
+    ref = gf2_mod((ref << 8) | Gf2Poly(b), p);
+  }
+  EXPECT_EQ(tables.fingerprint(as_bytes(data)),
+            static_cast<std::uint64_t>(ref));
+}
+
+TEST(RabinWindow, SlidingEqualsDirectComputation) {
+  // The fingerprint after sliding must equal fingerprinting the last w bytes
+  // from scratch — the fundamental sliding-window property.
+  const RabinTables tables(16);
+  const auto data = random_bytes(200, 10);
+  RabinWindow window(tables);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint64_t fp = window.push(data[i]);
+    if (i + 1 >= 16) {
+      const ByteSpan last16 = ByteSpan(data).subspan(i + 1 - 16, 16);
+      EXPECT_EQ(fp, tables.fingerprint(last16)) << "at position " << i;
+    }
+  }
+}
+
+TEST(RabinWindow, ResetRestartsCleanly) {
+  const RabinTables tables(8);
+  const auto data = random_bytes(64, 11);
+  RabinWindow w1(tables), w2(tables);
+  for (auto b : data) w1.push(b);
+  w1.reset();
+  std::uint64_t fp1 = 0, fp2 = 0;
+  for (auto b : data) {
+    fp1 = w1.push(b);
+    fp2 = w2.push(b);
+  }
+  EXPECT_EQ(fp1, fp2);
+}
+
+TEST(RabinWindow, FullFlagTracksWindowFill) {
+  const RabinTables tables(4);
+  RabinWindow w(tables);
+  EXPECT_FALSE(w.full());
+  for (int i = 0; i < 3; ++i) {
+    w.push(0xab);
+    EXPECT_FALSE(w.full());
+  }
+  w.push(0xcd);
+  EXPECT_TRUE(w.full());
+}
+
+TEST(RabinWindow, WindowContentDeterminesFingerprint) {
+  // Identical windows reached via different prefixes give identical
+  // fingerprints — the content-defined chunking property.
+  const RabinTables tables(8);
+  auto prefix_a = random_bytes(100, 12);
+  auto prefix_b = random_bytes(37, 13);
+  const auto window_content = random_bytes(8, 14);
+  RabinWindow wa(tables), wb(tables);
+  for (auto b : prefix_a) wa.push(b);
+  for (auto b : prefix_b) wb.push(b);
+  std::uint64_t fa = 0, fb = 0;
+  for (auto b : window_content) {
+    fa = wa.push(b);
+    fb = wb.push(b);
+  }
+  EXPECT_EQ(fa, fb);
+}
+
+TEST(RabinTables, DifferentWindowsDifferentPopTables) {
+  const RabinTables t8(8), t16(16);
+  const auto data = random_bytes(64, 15);
+  RabinWindow w8(t8), w16(t16);
+  std::uint64_t f8 = 0, f16 = 0;
+  for (auto b : data) {
+    f8 = w8.push(b);
+    f16 = w16.push(b);
+  }
+  EXPECT_NE(f8, f16);
+}
+
+// Parameterized sweep: sliding property holds across window sizes.
+class RabinWindowSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RabinWindowSweep, SlidingMatchesScratch) {
+  const std::size_t w = GetParam();
+  const RabinTables tables(w);
+  const auto data = random_bytes(3 * w + 17, 16 + w);
+  RabinWindow window(tables);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint64_t fp = window.push(data[i]);
+    if (i + 1 >= w) {
+      EXPECT_EQ(fp, tables.fingerprint(ByteSpan(data).subspan(i + 1 - w, w)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, RabinWindowSweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 31, 32, 48,
+                                           64, 100, 255, 256));
+
+// Different irreducible polynomials produce different fingerprints but both
+// satisfy the sliding property.
+TEST(RabinTables, AlternatePolynomial) {
+  const auto poly = gf2_random_irreducible(64, 123);
+  const RabinTables alt(48, static_cast<std::uint64_t>(poly));
+  const RabinTables def(48);
+  const auto data = random_bytes(256, 17);
+  EXPECT_NE(alt.fingerprint(as_bytes(data)), def.fingerprint(as_bytes(data)));
+}
+
+}  // namespace
+}  // namespace shredder::rabin
