@@ -1,8 +1,19 @@
 // Primitive micro-benchmarks (google-benchmark): the building blocks whose
 // costs the figure benches compose — Rabin window pushes, the canonical
-// scanner, parallel chunking, min/max filtering, baseline chunkers, SHA
-// hashing and the dedup index.
+// scanner, the batched buffer fast path, parallel chunking, min/max
+// filtering, baseline chunkers, SHA hashing and the dedup index.
+//
+// Chunking perf tracking: `microbench --chunking_json[=PATH]` skips the
+// google-benchmark suite and instead measures raw-boundary scan throughput
+// (seed StreamScanner vs scan_buffer fast path, serial and parallel) on a
+// 64 MiB input, writing machine-readable results to PATH (default
+// BENCH_chunking.json). Run it before and after any hot-path change; see
+// docs/perf.md.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "chunking/cdc.h"
 #include "chunking/fixed.h"
@@ -10,6 +21,7 @@
 #include "chunking/parallel.h"
 #include "chunking/samplebyte.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "dedup/index.h"
 #include "dedup/sha1.h"
 #include "dedup/sha256.h"
@@ -59,6 +71,22 @@ void BM_SerialScan(benchmark::State& state) {
       static_cast<std::int64_t>(data.size()));
 }
 BENCHMARK(BM_SerialScan);
+
+void BM_BufferScan(benchmark::State& state) {
+  const auto config = default_config();
+  const rabin::RabinTables tables(config.window);
+  const ByteSpan data = as_bytes(payload());
+  for (auto _ : state) {
+    std::uint64_t count = 0;
+    chunking::scan_buffer(tables, config, data, 0, 0,
+                          [&](std::uint64_t, std::uint64_t) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_BufferScan);
 
 void BM_ParallelChunker(benchmark::State& state) {
   const auto config = default_config();
@@ -158,6 +186,116 @@ void BM_ChunkIndexLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_ChunkIndexLookup);
 
+// --- --chunking_json mode -------------------------------------------------
+
+struct ScanResult {
+  std::string name;
+  double seconds = 0;
+  double bytes_per_sec = 0;
+  std::uint64_t boundaries = 0;
+};
+
+// Best-of-N wall time for one scan strategy (best-of reduces scheduler noise
+// on shared machines; both paths are measured identically).
+template <typename Fn>
+ScanResult measure_scan(const std::string& name, std::uint64_t bytes, Fn&& fn,
+                        int reps = 3) {
+  ScanResult r;
+  r.name = name;
+  r.seconds = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch watch;
+    const std::uint64_t count = fn();
+    const double s = watch.elapsed_seconds();
+    if (s < r.seconds) {
+      r.seconds = s;
+      r.boundaries = count;
+    }
+  }
+  r.bytes_per_sec = static_cast<double>(bytes) / r.seconds;
+  return r;
+}
+
+int run_chunking_json(const std::string& path) {
+  const std::uint64_t kBytes = 64ull << 20;  // acceptance floor: >= 64 MiB
+  const auto config = default_config();
+  const rabin::RabinTables tables(config.window);
+  const ByteVec input = random_bytes(kBytes, 4242);
+  const ByteSpan data = as_bytes(input);
+
+  std::vector<ScanResult> results;
+  results.push_back(measure_scan("stream_scan_serial", kBytes, [&] {
+    std::uint64_t count = 0;
+    chunking::scan_raw(tables, config, data, 0, 0,
+                       [&](std::uint64_t, std::uint64_t) { ++count; });
+    return count;
+  }));
+  results.push_back(measure_scan("buffer_scan_serial", kBytes, [&] {
+    std::uint64_t count = 0;
+    chunking::scan_buffer(tables, config, data, 0, 0,
+                          [&](std::uint64_t, std::uint64_t) { ++count; });
+    return count;
+  }));
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    chunking::ParallelChunker chunker(tables, config, threads,
+                                      chunking::AllocMode::kThreadArena);
+    results.push_back(measure_scan(
+        "buffer_scan_parallel_t" + std::to_string(threads), kBytes,
+        [&] { return chunker.raw_boundaries(data).size(); }));
+  }
+
+  const double stream = results[0].bytes_per_sec;
+  const double buffer = results[1].bytes_per_sec;
+  const double speedup = buffer / stream;
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"input_bytes\": %llu,\n",
+               static_cast<unsigned long long>(kBytes));
+  std::fprintf(f, "  \"window\": %zu,\n", config.window);
+  std::fprintf(f, "  \"mask_bits\": %u,\n", config.mask_bits);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"seconds\": %.6f, "
+                 "\"bytes_per_sec\": %.0f, \"boundaries\": %llu}%s\n",
+                 r.name.c_str(), r.seconds, r.bytes_per_sec,
+                 static_cast<unsigned long long>(r.boundaries),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"speedup_buffer_over_stream\": %.3f\n", speedup);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  for (const auto& r : results) {
+    std::printf("%-26s %8.1f MB/s  (%llu boundaries)\n", r.name.c_str(),
+                r.bytes_per_sec / 1e6,
+                static_cast<unsigned long long>(r.boundaries));
+  }
+  std::printf("speedup buffer/stream: %.2fx  -> %s\n", speedup, path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chunking_json") == 0) {
+      return run_chunking_json("BENCH_chunking.json");
+    }
+    if (std::strncmp(argv[i], "--chunking_json=", 16) == 0) {
+      return run_chunking_json(argv[i] + 16);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI entry point: strict build + full test suite, then an ASan/UBSan build
+# exercising the chunking stack (the fast path does unaligned loads and
+# arena-backed block chains — exactly what sanitizers are good at catching).
+#
+# Usage: scripts/ci.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== strict build (-Wall -Wextra -Werror) ==="
+cmake -B "$BUILD_DIR" -S . -DSHREDDER_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "=== ASan/UBSan build (chunking stack) ==="
+SAN_DIR="${BUILD_DIR}-asan"
+cmake -B "$SAN_DIR" -S . -DSHREDDER_WERROR=ON -DSHREDDER_SANITIZE=ON
+cmake --build "$SAN_DIR" -j "$JOBS" \
+  --target chunking_test rabin_test minmax_test
+ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS" \
+  -R 'chunking_test|rabin_test|minmax_test'
+
+echo "=== ci OK ==="

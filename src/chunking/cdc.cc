@@ -9,8 +9,8 @@ std::vector<std::uint64_t> find_raw_boundaries(const rabin::RabinTables& tables,
                                                ByteSpan data) {
   config.validate();
   std::vector<std::uint64_t> ends;
-  scan_raw(tables, config, data, /*warmup=*/0, /*base=*/0,
-           [&](std::uint64_t end, std::uint64_t) { ends.push_back(end); });
+  scan_buffer(tables, config, data, /*warmup=*/0, /*base=*/0,
+              [&](std::uint64_t end, std::uint64_t) { ends.push_back(end); });
   return ends;
 }
 

@@ -1,24 +1,30 @@
-// Content-defined chunking: the canonical scanner.
+// Content-defined chunking: the canonical scanners.
 //
-// All chunking backends in the repository (serial, parallel CPU, GPU basic
-// kernel, GPU coalesced kernel) share one inner loop — StreamScanner — so
-// their raw boundary streams are bit-identical by construction, and min/max
-// handling composes as a separate pass (chunking/minmax.h) exactly like the
-// paper's Store thread does (§3.1, §7.3).
+// Two implementations produce bit-identical raw boundary streams:
+//
+//  * scan_buffer — the branch-free batched fast path for in-memory spans.
+//    All chunking backends (serial, parallel CPU, GPU basic kernel, GPU
+//    coalesced kernel) run their inner loop through it. See docs/perf.md.
+//  * StreamScanner — the incremental scanner for data arriving in arbitrary
+//    granularity. It is also the reference oracle the equivalence tests hold
+//    scan_buffer against.
+//
+// Min/max handling composes as a separate pass (chunking/minmax.h) exactly
+// like the paper's Store thread does (§3.1, §7.3).
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <vector>
 
+#include "chunking/cdc_fastpath.h"
 #include "chunking/chunk.h"
 #include "common/bytes.h"
 #include "rabin/rabin.h"
 
 namespace shredder::chunking {
-
-// Maximum supported sliding-window size (bounds the stack ring buffer).
-inline constexpr std::size_t kMaxWindow = 256;
+// kMaxWindow (chunk.h) bounds StreamScanner's stack ring buffer; both
+// scanners reject larger Rabin tables.
 
 // Incremental raw-boundary scanner. Feed bytes in any granularity; emits
 // `emit(end, fp)` for every raw boundary, where `end` is the absolute end
@@ -42,6 +48,12 @@ class StreamScanner {
         next_pos_(base),
         emit_after_(base + warmup) {
     config.validate();
+    if (tables.window() > kMaxWindow) {
+      // The ring buffer is a fixed stack array; a larger window would index
+      // past it and silently corrupt the stack.
+      throw std::invalid_argument(
+          "StreamScanner: tables window exceeds kMaxWindow");
+    }
   }
 
   // Absolute offset of the next byte to be fed.
@@ -89,13 +101,51 @@ class StreamScanner {
 };
 
 // One-shot scan of `data` located at absolute offset `base`, with the first
-// `warmup` bytes warming the window only.
+// `warmup` bytes warming the window only. Reference implementation; use
+// scan_buffer on the hot path.
 template <typename Emit>
 void scan_raw(const rabin::RabinTables& tables, const ChunkerConfig& config,
               ByteSpan data, std::size_t warmup, std::uint64_t base,
               Emit&& emit) {
   StreamScanner scanner(tables, config, base, warmup);
   scanner.feed(data, emit);
+}
+
+// Branch-free batched scan of an in-memory span: the hot path shared by
+// every backend. Emits exactly the boundaries scan_raw would, bit for bit,
+// but with none of StreamScanner's per-byte overhead:
+//
+//  * no ring buffer — the byte leaving the window is just data[i - w];
+//  * a warmup prologue fills the window once, so the steady-state loop has
+//    no `filled == w` check and no wraparound arithmetic;
+//  * the steady state runs in unrolled batches of 8 with the boundary-mask
+//    test hoisted into one accumulated predicate per batch, and the carried
+//    fingerprint hops four bytes per fused table round (RabinTables::slide4)
+//    instead of one table walk per byte;
+//  * large spans additionally run as two interleaved lanes whose carried
+//    chains are independent, hiding the hop latency entirely.
+//
+// See docs/perf.md for the design rationale and measurements.
+template <typename Emit>
+void scan_buffer(const rabin::RabinTables& tables, const ChunkerConfig& config,
+                 ByteSpan data, std::size_t warmup, std::uint64_t base,
+                 Emit&& emit) {
+  config.validate();
+  const std::size_t w = tables.window();
+  if (w > kMaxWindow) {
+    throw std::invalid_argument("scan_buffer: tables window exceeds kMaxWindow");
+  }
+  const std::size_t n = data.size();
+  if (n < w) return;  // the window never fills: no boundary possible
+  const std::uint64_t mask = config.boundary_mask();
+  const std::uint64_t marker = config.marker;
+  const std::uint8_t* const p = data.data();
+  if (n >= detail::kTwoLaneMinBytes) {
+    detail::scan_two_lanes(tables, mask, marker, p, n, warmup, base, emit);
+  } else {
+    detail::scan_lane(tables, mask, marker, p, /*start=*/0, n, warmup, base,
+                      emit);
+  }
 }
 
 // Raw boundaries (no min/max) of an in-memory buffer. End offsets are

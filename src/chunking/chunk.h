@@ -9,6 +9,10 @@
 
 namespace shredder::chunking {
 
+// Maximum supported sliding-window size. Bounds StreamScanner's stack ring
+// buffer and is the limit ChunkerConfig::validate and the scanners enforce.
+inline constexpr std::size_t kMaxWindow = 256;
+
 // A chunk is the half-open byte range [offset, offset + size).
 struct Chunk {
   std::uint64_t offset = 0;
@@ -44,8 +48,11 @@ struct ChunkerConfig {
 
   // Throws std::invalid_argument on inconsistent settings.
   void validate() const {
-    if (window == 0 || window > 256) {
-      throw std::invalid_argument("ChunkerConfig: window must be in [1,256]");
+    // The scanners bound their window state by kMaxWindow, so larger
+    // windows must be rejected, never truncated.
+    if (window == 0 || window > kMaxWindow) {
+      throw std::invalid_argument(
+          "ChunkerConfig: window must be in [1, kMaxWindow]");
     }
     if (mask_bits == 0 || mask_bits > 48) {
       throw std::invalid_argument("ChunkerConfig: mask_bits must be in [1,48]");

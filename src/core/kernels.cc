@@ -85,42 +85,53 @@ GpuChunkResult chunk_on_gpu(gpu::Device& device, const gpu::DeviceBuffer& buf,
       auto emit = [&](std::uint64_t end, std::uint64_t) {
         boundaries.push_back(end);
       };
-      chunking::StreamScanner scanner(tables, config,
-                                      base_offset + r.scan_begin,
-                                      r.emit_begin - r.scan_begin);
       if (!params.coalesced) {
         // Direct global-memory walk, one 16 B segment per thread at a time.
+        // One contiguous span per thread: straight through the batched
+        // buffer fast path.
         ctx.record_global_read(dev_base + r.scan_begin,
                                r.emit_end - r.scan_begin);
         ctx.record_processed(r.emit_end - r.scan_begin);
-        scanner.feed(data.subspan(r.scan_begin, r.emit_end - r.scan_begin),
-                     emit);
+        chunking::scan_buffer(
+            tables, config,
+            data.subspan(r.scan_begin, r.emit_end - r.scan_begin),
+            r.emit_begin - r.scan_begin, base_offset + r.scan_begin, emit);
       } else {
-        // Cooperative staging: the thread's sub-stream is consumed in pieces
-        // of shared_mem/tpb bytes, each staged into this block's shared
-        // memory with coalesced transactions before being fingerprinted.
-        const std::size_t piece =
-            std::max<std::size_t>(64, ctx.shared().size() / tpb);
-        MutableByteSpan stage = ctx.shared().subspan(
-            t * (ctx.shared().size() / tpb), ctx.shared().size() / tpb);
-        std::size_t pos = r.scan_begin;
+        // Cooperative staging: the thread's sub-stream is consumed in tiles
+        // sized to this thread's slice of the block's shared memory, each
+        // staged with coalesced transactions before being fingerprinted.
+        // Every tile restages the w-1 bytes preceding its payload (the
+        // halo), so each tile is a self-contained scan_buffer call — the
+        // fast path needs no scanner state carried across tiles.
+        const std::size_t slice = ctx.shared().size() / tpb;
+        MutableByteSpan stage = ctx.shared().subspan(t * slice, slice);
+        std::size_t pos = r.emit_begin;  // next emit position to cover
         while (pos < r.emit_end) {
-          const std::size_t len = std::min(piece, r.emit_end - pos);
-          const std::size_t staged = std::min(len, stage.size());
-          // Real staging copy (device "global" -> on-chip buffer), then the
-          // scan runs out of shared memory, proving the restructured data
-          // path preserves the output.
-          std::memcpy(stage.data(), data.data() + pos, staged);
-          ctx.record_global_read(dev_base + pos, len);
-          ctx.record_shared_stage(staged);
+          const std::size_t halo = std::min(w - 1, pos);
+          // Payload that fits beside the halo in the stage slice, but at
+          // least 64 bytes per tile (tiny slices overflow to global memory).
+          const std::size_t fit = stage.size() > halo ? stage.size() - halo : 0;
+          const std::size_t payload =
+              std::min(r.emit_end - pos, std::max<std::size_t>(64, fit));
+          const std::size_t len = halo + payload;
+          ctx.record_global_read(dev_base + (pos - halo), len);
           ctx.record_processed(len);
-          scanner.feed(ByteSpan{stage.data(), staged}, emit);
-          if (staged < len) {
-            // Piece larger than the stage slice (tiny shared configs): scan
-            // the remainder straight from global memory.
-            scanner.feed(data.subspan(pos + staged, len - staged), emit);
+          if (len <= stage.size()) {
+            // Real staging copy (device "global" -> on-chip buffer), then
+            // the scan runs out of shared memory, proving the restructured
+            // data path preserves the output.
+            std::memcpy(stage.data(), data.data() + (pos - halo), len);
+            ctx.record_shared_stage(len);
+            chunking::scan_buffer(tables, config, ByteSpan{stage.data(), len},
+                                  halo, base_offset + (pos - halo), emit);
+          } else {
+            // Tile larger than the stage slice (tiny shared configs): scan
+            // the whole tile straight from global memory, no staging.
+            chunking::scan_buffer(tables, config,
+                                  data.subspan(pos - halo, len), halo,
+                                  base_offset + (pos - halo), emit);
           }
-          pos += len;
+          pos += payload;
         }
       }
     }

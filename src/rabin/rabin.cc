@@ -41,6 +41,57 @@ RabinTables::RabinTables(std::size_t window_bytes, std::uint64_t poly_low64)
     const Gf2Poly v = gf2_mod(gf2_mul(Gf2Poly(b), x_pow), p);
     pop_table_[b] = static_cast<std::uint64_t>(v);
   }
+
+  // slide_table[b] = b * x^(8*w) mod P: the pop contribution advanced one
+  // more byte, so that pop-then-push fuses into push ^ slide_table[out]
+  // (reduction is GF(2)-linear, so the two reductions combine).
+  const Gf2Poly x_pow_w = gf2_mod(x_pow << 8, p);
+  for (unsigned b = 0; b < 256; ++b) {
+    const Gf2Poly v = gf2_mod(gf2_mul(Gf2Poly(b), x_pow_w), p);
+    slide_table_[b] = static_cast<std::uint64_t>(v);
+  }
+
+  // slide4 tables. jump_table[j][c] = c * x^(88-8j): the reduction of the
+  // register bytes shifted out by fp * x^32 (j = 3 is push_table itself).
+  // out4_table[m][o] = o * x^(8w+8(3-m)): the m-th of the four window bytes
+  // leaving during the jump (m = 3 is slide_table itself).
+  Gf2Poly x_exp = gf2_mod(gf2_mod(Gf2Poly(1) << 64, p) << 8, p);  // x^72
+  for (int j = 2; j >= 0; --j) {
+    for (unsigned c = 0; c < 256; ++c) {
+      jump_table_[static_cast<std::size_t>(j)][c] =
+          static_cast<std::uint64_t>(gf2_mod(gf2_mul(Gf2Poly(c), x_exp), p));
+    }
+    x_exp = gf2_mod(x_exp << 8, p);
+  }
+  Gf2Poly out_exp = gf2_mod(x_pow_w << 8, p);  // x^(8w+8)
+  for (int m = 2; m >= 0; --m) {
+    for (unsigned o = 0; o < 256; ++o) {
+      out4_table_[static_cast<std::size_t>(m)][o] =
+          static_cast<std::uint64_t>(gf2_mod(gf2_mul(Gf2Poly(o), out_exp), p));
+    }
+    out_exp = gf2_mod(out_exp << 8, p);
+  }
+}
+
+std::uint64_t RabinTables::x_pow_8k(std::uint64_t k) const {
+  const Gf2Poly p = full_poly(poly_);
+  Gf2Poly result = 1;                              // x^0
+  Gf2Poly sq = gf2_mod(Gf2Poly(1) << 8, p);        // x^8
+  while (k != 0) {
+    if (k & 1) result = gf2_mulmod(result, sq, p);
+    sq = gf2_mulmod(sq, sq, p);
+    k >>= 1;
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+std::uint64_t RabinTables::concat(std::uint64_t prefix_fp,
+                                  std::uint64_t suffix_fp,
+                                  std::uint64_t suffix_len) const {
+  const Gf2Poly p = full_poly(poly_);
+  const Gf2Poly shifted =
+      gf2_mulmod(Gf2Poly(prefix_fp), Gf2Poly(x_pow_8k(suffix_len)), p);
+  return static_cast<std::uint64_t>(shifted) ^ suffix_fp;
 }
 
 std::uint64_t RabinTables::fingerprint(ByteSpan data) const noexcept {

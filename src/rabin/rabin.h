@@ -10,6 +10,30 @@
 //   pop_table[b]  = (b * x^(8*(w-1))) mod P   (contribution of the byte
 //                                              leaving a w-byte window)
 //
+// A third table fuses the two for a full sliding-window step. Because
+// reduction is GF(2)-linear, pop-then-push over a full window equals a plain
+// push plus one extra XOR:
+//
+//   slide_table[b] = (b * x^(8*w))    mod P   (= pop_table[b] advanced one
+//                                              byte through the register)
+//   slide(fp, in, out) = push(fp, in) ^ slide_table[out]
+//
+// slide() still carries a serial dependency of one table walk per byte
+// (fp -> load -> xor -> fp). slide4() breaks it: linearity lets four window
+// steps collapse into ONE carried operation whose four reduction lookups are
+// indexed by independent bytes of fp and so issue in parallel:
+//
+//   jump_table[j][c] = (c * x^(64+8*(3-j)))   mod P   (register bytes shifted
+//                                                      out by fp * x^32)
+//   out4_table[m][o] = (o * x^(8*w+8*(3-m)))  mod P   (the m-th of the four
+//                                                      leaving window bytes)
+//
+// The carried chain thus advances four bytes per hop; a buffer scan computes
+// the three intermediate fingerprints off the critical path (see
+// chunking::scan_buffer). An 8-byte hop was prototyped the same way and
+// measured no faster (the scan is resource-bound by then, docs/perf.md), so
+// the tables stop at the 4-byte tier.
+//
 // RabinTables is immutable after construction and safe to share across
 // threads; RabinWindow is a small per-thread cursor.
 #pragma once
@@ -51,6 +75,45 @@ class RabinTables {
     return fp ^ pop_table_[oldest];
   }
 
+  // Full-window step: slide(fp, in, out) == push(pop(fp, out), in), fused
+  // into one shift and two XORs via slide_table. This is the whole inner
+  // loop of the buffer fast path (chunking::scan_buffer).
+  std::uint64_t slide(std::uint64_t fp, std::uint8_t in,
+                      std::uint8_t out) const noexcept {
+    const std::uint8_t shifted_out = static_cast<std::uint8_t>(fp >> 56);
+    return (((fp << 8) | in) ^ push_table_[shifted_out]) ^ slide_table_[out];
+  }
+
+  // Four full-window steps fused into one carried operation. Equivalent to
+  //   slide(slide(slide(slide(fp, in0, out0), in1, out1), in2, out2),
+  //         in3, out3)
+  // with in4_be = in0<<24 | in1<<16 | in2<<8 | in3, but the four reduction
+  // lookups depend on disjoint bytes of fp and issue in parallel, so the
+  // loop-carried latency is one hop per FOUR bytes instead of four
+  // dependent table walks. Requires a full window (like slide).
+  std::uint64_t slide4(std::uint64_t fp, std::uint32_t in4_be,
+                       std::uint8_t out0, std::uint8_t out1,
+                       std::uint8_t out2, std::uint8_t out3) const noexcept {
+    return ((fp << 32) | in4_be) ^
+           jump_table_[0][static_cast<std::uint8_t>(fp >> 56)] ^
+           jump_table_[1][static_cast<std::uint8_t>(fp >> 48)] ^
+           jump_table_[2][static_cast<std::uint8_t>(fp >> 40)] ^
+           push_table_[static_cast<std::uint8_t>(fp >> 32)] ^
+           out4_table_[0][out0] ^ out4_table_[1][out1] ^
+           out4_table_[2][out2] ^ slide_table_[out3];
+  }
+
+  // x^(8*k) mod P, by square-and-multiply — O(log k) instead of k byte
+  // shifts. This is the "jump" polynomial: appending k arbitrary bytes to a
+  // stream multiplies its fingerprint by x^(8k), so batch entry/exit states
+  // are computable without per-byte table walks (see concat()).
+  std::uint64_t x_pow_8k(std::uint64_t k) const;
+
+  // Fingerprint of the concatenation A||B from fingerprint(A),
+  // fingerprint(B) and |B|: fp(A||B) = fp(A) * x^(8|B|) + fp(B) mod P.
+  std::uint64_t concat(std::uint64_t prefix_fp, std::uint64_t suffix_fp,
+                       std::uint64_t suffix_len) const;
+
   // Fingerprint of an entire buffer (no window), for tests and whole-chunk
   // fingerprints.
   std::uint64_t fingerprint(ByteSpan data) const noexcept;
@@ -60,6 +123,12 @@ class RabinTables {
   std::uint64_t poly_;
   std::array<std::uint64_t, 256> push_table_;
   std::array<std::uint64_t, 256> pop_table_;
+  std::array<std::uint64_t, 256> slide_table_;
+  // jump_table_[j][c] = c * x^(88-8j) mod P; the j=3 case is push_table_.
+  std::array<std::array<std::uint64_t, 256>, 3> jump_table_;
+  // out4_table_[m][o] = o * x^(8w+8(3-m)) mod P; the m=3 case is
+  // slide_table_.
+  std::array<std::array<std::uint64_t, 256>, 3> out4_table_;
 };
 
 // Sliding-window cursor. push() returns the fingerprint of the last

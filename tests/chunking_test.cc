@@ -16,6 +16,8 @@
 #include "chunking/parallel.h"
 #include "chunking/samplebyte.h"
 #include "common/rng.h"
+#include "core/kernels.h"
+#include "gpusim/device.h"
 
 namespace shredder::chunking {
 namespace {
@@ -446,6 +448,262 @@ TEST(ChunkerComparison, CdcSurvivesInsertionFixedDoesNot) {
             0.95);
   EXPECT_LT(static_cast<double>(fx_common) / static_cast<double>(fx_b.size()),
             0.35);
+}
+
+// --- Cross-backend equivalence suite ---
+//
+// StreamScanner (scan_raw) is the reference oracle; every backend — the
+// scan_buffer fast path, chunk_serial/find_raw_boundaries, the parallel
+// chunker under both allocation modes and several thread counts, and both
+// GPU kernel flavors — must reproduce its raw boundary stream bit for bit
+// across window sizes, masks, and edge-case input lengths.
+
+std::vector<std::uint64_t> oracle_raw(const RabinTables& tables,
+                                      const ChunkerConfig& config,
+                                      ByteSpan data) {
+  std::vector<std::uint64_t> ends;
+  scan_raw(tables, config, data, /*warmup=*/0, /*base=*/0,
+           [&](std::uint64_t end, std::uint64_t) { ends.push_back(end); });
+  return ends;
+}
+
+std::vector<std::uint64_t> buffer_raw(const RabinTables& tables,
+                                      const ChunkerConfig& config,
+                                      ByteSpan data) {
+  std::vector<std::uint64_t> ends;
+  scan_buffer(tables, config, data, /*warmup=*/0, /*base=*/0,
+              [&](std::uint64_t end, std::uint64_t) { ends.push_back(end); });
+  return ends;
+}
+
+struct EquivCase {
+  std::size_t window;
+  unsigned mask_bits;
+  std::uint64_t marker;
+};
+
+class CrossBackendEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(CrossBackendEquivalence, RawBoundariesBitIdentical) {
+  const auto [window, mask_bits, marker] = GetParam();
+  ChunkerConfig config;
+  config.window = window;
+  config.mask_bits = mask_bits;
+  config.marker = marker;
+  const RabinTables tables(window);
+
+  // Edge cases: empty, sub-window, exact window, exact window multiples,
+  // a +1 straggler, and sizes large enough for many regions. 600000 exceeds
+  // the two-lane threshold of the buffer fast path.
+  const std::size_t sizes[] = {0,          1,          window - 1, window,
+                               2 * window, 8 * window, 8 * window + 1,
+                               65536,      600000};
+  std::uint64_t seed = 1000 + window;
+  for (const std::size_t size : sizes) {
+    const auto data = random_bytes(size, seed++);
+    const ByteSpan span = as_bytes(data);
+    const auto oracle = oracle_raw(tables, config, span);
+
+    EXPECT_EQ(buffer_raw(tables, config, span), oracle)
+        << "scan_buffer, size " << size;
+    EXPECT_EQ(find_raw_boundaries(tables, config, span), oracle)
+        << "find_raw_boundaries, size " << size;
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+      for (const auto mode :
+           {AllocMode::kSharedLockedHeap, AllocMode::kThreadArena}) {
+        ParallelChunker chunker(tables, config, threads, mode);
+        EXPECT_EQ(chunker.raw_boundaries(span), oracle)
+            << "parallel, size " << size << ", threads " << threads
+            << ", arena " << (mode == AllocMode::kThreadArena);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowsAndMasks, CrossBackendEquivalence,
+    ::testing::Values(EquivCase{16, 8, 0x42}, EquivCase{16, 11, 0x2a5},
+                      EquivCase{48, 8, 0x42}, EquivCase{48, 11, 0x2a5},
+                      EquivCase{64, 8, 0x42}, EquivCase{64, 11, 0x2a5}));
+
+TEST_P(CrossBackendEquivalence, GpuKernelsBitIdentical) {
+  const auto [window, mask_bits, marker] = GetParam();
+  ChunkerConfig config;
+  config.window = window;
+  config.mask_bits = mask_bits;
+  config.marker = marker;
+  const RabinTables tables(window);
+
+  gpu::Device device(gpu::DeviceSpec{}, 2);
+  std::uint64_t seed = 2000 + window;
+  for (const std::size_t size :
+       {window, 8 * window + 3, std::size_t{100000}}) {
+    const auto data = random_bytes(size, seed++);
+    const ByteSpan span = as_bytes(data);
+    const auto oracle = oracle_raw(tables, config, span);
+    auto buf = device.alloc(data.size());
+    device.memcpy_h2d(buf, 0, span, gpu::HostMemKind::kPinned);
+    for (const bool coalesced : {false, true}) {
+      core::KernelParams params;
+      params.blocks = 4;
+      params.threads_per_block = 16;
+      params.coalesced = coalesced;
+      const auto result = core::chunk_on_gpu(device, buf, data.size(), 0, 0,
+                                             tables, config, params);
+      EXPECT_EQ(result.boundaries, oracle)
+          << "gpu coalesced=" << coalesced << ", size " << size;
+    }
+    // Tiny per-thread stage slice (shared/tpb below halo + 64): the
+    // coalesced kernel's tile-overflow fallback must still be exact.
+    core::KernelParams tiny_stage;
+    tiny_stage.blocks = 1;
+    tiny_stage.threads_per_block = 768;
+    tiny_stage.coalesced = true;
+    const auto overflow = core::chunk_on_gpu(device, buf, data.size(), 0, 0,
+                                             tables, config, tiny_stage);
+    EXPECT_EQ(overflow.boundaries, oracle) << "tiny stage, size " << size;
+  }
+}
+
+TEST_P(CrossBackendEquivalence, ChunkListsBitIdentical) {
+  const auto [window, mask_bits, marker] = GetParam();
+  ChunkerConfig config;
+  config.window = window;
+  config.mask_bits = mask_bits;
+  config.marker = marker;
+  config.min_size = std::uint64_t{1} << (mask_bits - 1);
+  config.max_size = std::uint64_t{1} << (mask_bits + 2);
+  const RabinTables tables(window);
+  const auto data = random_bytes(300000, 77 + window);
+  const ByteSpan span = as_bytes(data);
+
+  const auto expected = chunk_serial(tables, config, span);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const auto mode :
+         {AllocMode::kSharedLockedHeap, AllocMode::kThreadArena}) {
+      ParallelChunker chunker(tables, config, threads, mode);
+      EXPECT_EQ(chunker.chunk(span), expected)
+          << "threads " << threads << ", arena "
+          << (mode == AllocMode::kThreadArena);
+    }
+  }
+}
+
+TEST(ScanBuffer, WarmupAndBaseMatchStreamScanner) {
+  // The warmup/base contract used by parallel regions and GPU tiles: a scan
+  // over [begin - warm, end) with `warm` warmup bytes must emit exactly the
+  // oracle boundaries that fall in (begin, end].
+  ChunkerConfig config;
+  config.window = 48;
+  config.mask_bits = 8;
+  config.marker = 0x42;
+  const RabinTables tables(config.window);
+  const auto data = random_bytes(50000, 91);
+  const ByteSpan span = as_bytes(data);
+  const auto oracle = oracle_raw(tables, config, span);
+  for (const std::size_t begin : {std::size_t{0}, std::size_t{17},
+                                  std::size_t{1000}, std::size_t{49999}}) {
+    const std::size_t end = std::min<std::size_t>(begin + 20000, span.size());
+    const std::size_t warm = std::min(begin, config.window - 1);
+    std::vector<std::uint64_t> got;
+    scan_buffer(tables, config, span.subspan(begin - warm, end - begin + warm),
+                warm, begin - warm,
+                [&](std::uint64_t e, std::uint64_t) { got.push_back(e); });
+    std::vector<std::uint64_t> expected;
+    for (auto e : oracle) {
+      if (e > begin && e <= end) expected.push_back(e);
+    }
+    EXPECT_EQ(got, expected) << "begin " << begin;
+  }
+}
+
+TEST(ScanBuffer, TwoLaneWarmupMatchesStreamScanner) {
+  // Spans past the two-lane threshold with nonzero warmup: the production
+  // shape of every parallel region past the first on multi-megabyte inputs
+  // (region >= 256 KiB, warm = w-1). Exercises scan_two_lanes' prologue
+  // guards and warmup skip loops.
+  ChunkerConfig config;
+  config.window = 48;
+  config.mask_bits = 9;
+  config.marker = 0x5a;
+  const RabinTables tables(config.window);
+  const auto data = random_bytes(900000, 95);
+  const ByteSpan span = as_bytes(data);
+  const auto oracle = oracle_raw(tables, config, span);
+  for (const std::size_t begin :
+       {std::size_t{0}, std::size_t{13}, std::size_t{300000}}) {
+    const std::size_t end = std::min<std::size_t>(begin + 550000, span.size());
+    const std::size_t warm = std::min(begin, config.window - 1);
+    std::vector<std::uint64_t> got;
+    scan_buffer(tables, config, span.subspan(begin - warm, end - begin + warm),
+                warm, begin - warm,
+                [&](std::uint64_t e, std::uint64_t) { got.push_back(e); });
+    std::vector<std::uint64_t> expected;
+    std::vector<std::uint64_t> reference;
+    scan_raw(tables, config, span.subspan(begin - warm, end - begin + warm),
+             warm, begin - warm,
+             [&](std::uint64_t e, std::uint64_t) { reference.push_back(e); });
+    for (auto e : oracle) {
+      if (e > begin && e <= end) expected.push_back(e);
+    }
+    EXPECT_EQ(got, expected) << "begin " << begin;
+    EXPECT_EQ(got, reference) << "begin " << begin;
+  }
+}
+
+TEST(ScanBuffer, ParallelRegionsAboveTwoLaneThreshold) {
+  // Multi-thread run where every region runs two-lane with warm = w-1.
+  ChunkerConfig config;
+  config.window = 48;
+  config.mask_bits = 12;
+  config.marker = 0x123;
+  const RabinTables tables(config.window);
+  const auto data = random_bytes(1500000, 96);
+  const ByteSpan span = as_bytes(data);
+  const auto oracle = oracle_raw(tables, config, span);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    ParallelChunker chunker(tables, config, threads, AllocMode::kThreadArena);
+    EXPECT_EQ(chunker.raw_boundaries(span), oracle) << "threads " << threads;
+  }
+}
+
+TEST(ScanBuffer, EmitsWindowFingerprints) {
+  // The fp handed to emit must be the true fingerprint of the window ending
+  // at the boundary (the hop-table decomposition must not change it).
+  ChunkerConfig config;
+  config.window = 32;
+  config.mask_bits = 7;
+  config.marker = 0x15;
+  const RabinTables tables(config.window);
+  const auto data = random_bytes(100000, 92);
+  std::size_t checked = 0;
+  scan_buffer(tables, config, as_bytes(data), 0, 0,
+              [&](std::uint64_t end, std::uint64_t fp) {
+                const auto window = ByteSpan(as_bytes(data))
+                                        .subspan(end - config.window,
+                                                 config.window);
+                EXPECT_EQ(fp, tables.fingerprint(window)) << "end " << end;
+                ++checked;
+              });
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(ScanBuffer, RejectsOversizedTableWindow) {
+  const RabinTables tables(kMaxWindow + 1);
+  ChunkerConfig config;  // defaults are valid
+  const auto data = random_bytes(1024, 93);
+  EXPECT_THROW(scan_buffer(tables, config, as_bytes(data), 0, 0,
+                           [](std::uint64_t, std::uint64_t) {}),
+               std::invalid_argument);
+}
+
+TEST(StreamScanner, RejectsOversizedTableWindow) {
+  // The ring buffer is a fixed stack array of kMaxWindow bytes; constructing
+  // with larger tables used to silently corrupt the stack.
+  const RabinTables tables(kMaxWindow + 1);
+  ChunkerConfig config;
+  EXPECT_THROW(StreamScanner(tables, config), std::invalid_argument);
 }
 
 }  // namespace

@@ -269,5 +269,84 @@ TEST(RabinTables, AlternatePolynomial) {
   EXPECT_NE(alt.fingerprint(as_bytes(data)), def.fingerprint(as_bytes(data)));
 }
 
+// --- Fused sliding-window operations (the scan_buffer fast path substrate) ---
+
+class FusedSlideSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FusedSlideSweep, SlideEqualsPopThenPush) {
+  const std::size_t w = GetParam();
+  const RabinTables tables(w);
+  const auto data = random_bytes(4 * w + 64, 40 + w);
+  RabinWindow window(tables);
+  std::uint64_t fp = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint64_t expect = window.push(data[i]);
+    if (i < w) {
+      fp = tables.push(fp, data[i]);
+    } else {
+      fp = tables.slide(fp, data[i], data[i - w]);
+    }
+    EXPECT_EQ(fp, expect) << "i=" << i;
+  }
+}
+
+TEST_P(FusedSlideSweep, Slide4EqualsChainedSlides) {
+  const std::size_t w = GetParam();
+  const RabinTables tables(w);
+  const auto data = random_bytes(4 * w + 64, 50 + w);
+  const std::uint8_t* p = data.data();
+  // Warm a full window, then compare every double 4-hop against eight
+  // chained single slides (the exact decomposition scan_buffer uses).
+  std::uint64_t fp = 0;
+  for (std::size_t i = 0; i < w; ++i) fp = tables.push(fp, p[i]);
+  for (std::size_t i = w; i + 8 <= data.size(); ++i) {
+    std::uint64_t chained = fp;
+    for (std::size_t k = 0; k < 8; ++k) {
+      chained = tables.slide(chained, p[i + k], p[i + k - w]);
+    }
+    std::uint64_t in8 = 0;
+    for (std::size_t k = 0; k < 8; ++k) in8 = (in8 << 8) | p[i + k];
+    const std::uint64_t hop4 = tables.slide4(
+        fp, static_cast<std::uint32_t>(in8 >> 32), p[i - w], p[i + 1 - w],
+        p[i + 2 - w], p[i + 3 - w]);
+    const std::uint64_t hop44 = tables.slide4(
+        hop4, static_cast<std::uint32_t>(in8 & 0xffffffffu), p[i + 4 - w],
+        p[i + 5 - w], p[i + 6 - w], p[i + 7 - w]);
+    EXPECT_EQ(hop44, chained) << "i=" << i;
+    fp = tables.slide(fp, p[i], p[i - w]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, FusedSlideSweep,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 48, 64, 256));
+
+TEST(RabinTables, XPow8kMatchesByteShifts) {
+  const RabinTables tables(48);
+  // Naive reference: k repeated byte shifts == fingerprint of 0x01 followed
+  // by k zero bytes.
+  for (const std::uint64_t k : {0ull, 1ull, 2ull, 7ull, 8ull, 63ull, 64ull,
+                                1000ull}) {
+    ByteVec buf(static_cast<std::size_t>(k) + 1, 0);
+    buf[0] = 1;
+    EXPECT_EQ(tables.x_pow_8k(k), tables.fingerprint(as_bytes(buf)))
+        << "k=" << k;
+  }
+  EXPECT_EQ(tables.x_pow_8k(0), 1u);
+}
+
+TEST(RabinTables, ConcatMatchesWholeBufferFingerprint) {
+  const RabinTables tables(48);
+  SplitMix64 rng(60);
+  for (int i = 0; i < 20; ++i) {
+    const auto a = random_bytes(1 + rng.next_below(300), 61 + i);
+    const auto b = random_bytes(rng.next_below(300), 80 + i);
+    ByteVec whole = a;
+    whole.insert(whole.end(), b.begin(), b.end());
+    EXPECT_EQ(tables.concat(tables.fingerprint(as_bytes(a)),
+                            tables.fingerprint(as_bytes(b)), b.size()),
+              tables.fingerprint(as_bytes(whole)));
+  }
+}
+
 }  // namespace
 }  // namespace shredder::rabin
