@@ -9,11 +9,20 @@
 // 64 MiB input, writing machine-readable results to PATH (default
 // BENCH_chunking.json). Run it before and after any hot-path change; see
 // docs/perf.md.
+//
+// Multi-tenant service tracking: `microbench --service_json[=PATH]` measures
+// aggregate virtual throughput of the ChunkingService at N = 1, 4, 16
+// concurrent tenant streams against the dedicated single-stream Shredder
+// baseline, writing BENCH_service.json. The acceptance bar is N=16 >= 2x the
+// baseline (the device no longer idles between one stream's buffers).
+// `--service_smoke_json[=PATH]` is the small-N variant scripts/ci.sh runs.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "chunking/cdc.h"
 #include "chunking/fixed.h"
@@ -22,9 +31,11 @@
 #include "chunking/samplebyte.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "core/shredder.h"
 #include "dedup/index.h"
 #include "dedup/sha1.h"
 #include "dedup/sha256.h"
+#include "service/service.h"
 
 namespace {
 
@@ -282,6 +293,107 @@ int run_chunking_json(const std::string& path) {
   return 0;
 }
 
+// --- --service_json mode --------------------------------------------------
+
+struct ServicePoint {
+  std::size_t n_streams = 0;
+  double aggregate_bps = 0;
+  double speedup_vs_baseline = 0;
+  double device_occupancy = 0;
+  double h2d_busy_fraction = 0;
+};
+
+int run_service_json(const std::string& path, bool smoke) {
+  const std::size_t per_tenant = smoke ? (1u << 20) : (8u << 20);
+  const std::vector<std::size_t> fleet =
+      smoke ? std::vector<std::size_t>{1, 4}
+            : std::vector<std::size_t>{1, 4, 16};
+  const std::size_t max_n = fleet.back();
+
+  service::ServiceConfig cfg;  // paper chunker: w=48, 13 bits, 0x78
+  cfg.buffer_bytes = 1u << 20;
+  cfg.max_tenants = max_n;
+
+  // Distinct payload per tenant so streams do not trivially share content.
+  std::vector<ByteVec> payloads;
+  for (std::size_t k = 0; k < max_n; ++k) {
+    payloads.push_back(random_bytes(per_tenant, 9000 + k));
+  }
+
+  // Single-stream baseline: a dedicated Shredder pipeline over tenant 0.
+  core::ShredderConfig base_cfg;
+  base_cfg.chunker = cfg.chunker;
+  base_cfg.buffer_bytes = cfg.buffer_bytes;
+  base_cfg.mode = cfg.mode;
+  base_cfg.kernel = cfg.kernel;
+  base_cfg.ring_slots = cfg.ring_slots;
+  core::Shredder baseline_shredder(base_cfg);
+  const double baseline_bps =
+      baseline_shredder.run(as_bytes(payloads[0])).virtual_throughput_bps;
+
+  std::vector<ServicePoint> points;
+  for (const std::size_t n : fleet) {
+    service::ChunkingService svc(cfg);
+    std::vector<service::ChunkingService::StreamId> ids;
+    for (std::size_t k = 0; k < n; ++k) ids.push_back(svc.open());
+    std::vector<std::thread> producers;
+    for (std::size_t k = 0; k < n; ++k) {
+      producers.emplace_back([&, k] {
+        svc.submit(ids[k], as_bytes(payloads[k]));
+        svc.finish(ids[k]);
+      });
+    }
+    for (auto& t : producers) t.join();
+    for (const auto id : ids) svc.wait(id);
+    const auto report = svc.shutdown();
+    ServicePoint p;
+    p.n_streams = n;
+    p.aggregate_bps = report.aggregate_throughput_bps;
+    p.speedup_vs_baseline = p.aggregate_bps / baseline_bps;
+    p.device_occupancy = report.device_occupancy;
+    p.h2d_busy_fraction = report.virtual_seconds > 0
+                              ? report.h2d_busy_seconds / report.virtual_seconds
+                              : 0.0;
+    points.push_back(p);
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"per_tenant_bytes\": %llu,\n",
+               static_cast<unsigned long long>(per_tenant));
+  std::fprintf(f, "  \"buffer_bytes\": %llu,\n",
+               static_cast<unsigned long long>(cfg.buffer_bytes));
+  std::fprintf(f, "  \"single_stream_baseline_bps\": %.0f,\n", baseline_bps);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::fprintf(f,
+                 "    {\"n_streams\": %zu, \"aggregate_bps\": %.0f, "
+                 "\"speedup_vs_baseline\": %.3f, \"device_occupancy\": %.3f, "
+                 "\"h2d_busy_fraction\": %.3f}%s\n",
+                 p.n_streams, p.aggregate_bps, p.speedup_vs_baseline,
+                 p.device_occupancy, p.h2d_busy_fraction,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf("single-stream baseline: %8.1f MB/s\n", baseline_bps / 1e6);
+  for (const auto& p : points) {
+    std::printf("N=%-3zu aggregate %8.1f MB/s  (%.2fx baseline, "
+                "compute occupancy %.0f%%, h2d busy %.0f%%)\n",
+                p.n_streams, p.aggregate_bps / 1e6, p.speedup_vs_baseline,
+                p.device_occupancy * 100, p.h2d_busy_fraction * 100);
+  }
+  std::printf("-> %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -291,6 +403,18 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--chunking_json=", 16) == 0) {
       return run_chunking_json(argv[i] + 16);
+    }
+    if (std::strcmp(argv[i], "--service_json") == 0) {
+      return run_service_json("BENCH_service.json", /*smoke=*/false);
+    }
+    if (std::strncmp(argv[i], "--service_json=", 15) == 0) {
+      return run_service_json(argv[i] + 15, /*smoke=*/false);
+    }
+    if (std::strcmp(argv[i], "--service_smoke_json") == 0) {
+      return run_service_json("BENCH_service_smoke.json", /*smoke=*/true);
+    }
+    if (std::strncmp(argv[i], "--service_smoke_json=", 21) == 0) {
+      return run_service_json(argv[i] + 21, /*smoke=*/true);
     }
   }
   benchmark::Initialize(&argc, argv);

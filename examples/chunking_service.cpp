@@ -1,0 +1,96 @@
+// Multi-tenant chunking service: 8 client streams share one GPU pipeline.
+//
+// Spins up a ChunkingService, feeds it eight synthetic tenant streams from
+// eight producer threads (mixed weights, so two "premium" tenants get a
+// larger share of device dispatches), and prints the per-tenant and
+// aggregate reports: virtual throughput per stream, backpressure high-water
+// marks, device-engine occupancy and the aggregate speedup over what a
+// dedicated single-stream pipeline would deliver.
+//
+//   ./chunking_service [megabytes-per-tenant]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/stats.h"
+#include "core/source.h"
+#include "service/service.h"
+
+int main(int argc, char** argv) {
+  using namespace shredder;
+  const std::uint64_t megabytes =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16;
+  constexpr std::size_t kTenants = 8;
+
+  // 1. One long-lived service instance per device. The chunker settings are
+  //    service-wide (all tenants share one set of Rabin tables).
+  service::ServiceConfig config;
+  config.chunker.window = 48;
+  config.chunker.mask_bits = 13;
+  config.chunker.min_size = 2 * 1024;
+  config.chunker.max_size = 64 * 1024;
+  config.buffer_bytes = 1ull << 20;
+  service::ChunkingService svc(config);
+
+  // 2. Admit eight tenants. Tenants 0 and 1 are "premium": weight 4 gives
+  //    them 4x the device dispatches of a weight-1 tenant under contention.
+  std::vector<service::ChunkingService::StreamId> ids;
+  for (std::size_t k = 0; k < kTenants; ++k) {
+    service::TenantOptions opts;
+    opts.name = k < 2 ? "premium-" : "standard-";
+    opts.name += std::to_string(k);
+    opts.weight = k < 2 ? 4 : 1;
+    ids.push_back(svc.open(std::move(opts)));
+  }
+
+  // 3. Eight producer threads stream synthetic data concurrently. submit()
+  //    blocks whenever a tenant outruns its share of the device: that is
+  //    the service's backpressure, not an error.
+  std::vector<std::thread> producers;
+  for (std::size_t k = 0; k < kTenants; ++k) {
+    producers.emplace_back([&, k] {
+      core::SyntheticSource source(megabytes << 20, /*seed=*/1000 + k,
+                                   config.host.reader_bw);
+      ByteVec buf(1 << 20);
+      for (;;) {
+        const std::size_t n = source.read({buf.data(), buf.size()});
+        if (n == 0) break;
+        svc.submit(ids[k], ByteSpan{buf.data(), n});
+      }
+      svc.finish(ids[k]);
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  // 4. Per-tenant reports (chunks come back too; we only print stats here).
+  std::printf("%-12s %8s %9s %8s %10s %10s\n", "tenant", "weight", "MB", "chunks",
+              "MB/s(virt)", "max-queue");
+  for (std::size_t k = 0; k < kTenants; ++k) {
+    const auto result = svc.wait(ids[k]);
+    const auto& r = result.report;
+    std::printf("%-12s %8u %9.1f %8llu %10.1f %10zu\n", r.name.c_str(),
+                r.weight, static_cast<double>(r.total_bytes) / 1e6,
+                static_cast<unsigned long long>(r.n_chunks),
+                r.virtual_throughput_bps / 1e6, r.max_queue_depth);
+  }
+
+  // 5. Aggregate: one device served all eight streams concurrently.
+  const auto report = svc.shutdown();
+  std::printf("\naggregate: %s over %llu buffers from %zu tenants\n",
+              human_rate(report.aggregate_throughput_bps).c_str(),
+              static_cast<unsigned long long>(report.n_buffers),
+              report.n_tenants);
+  std::printf("device:    makespan %.1f ms | compute busy %.0f%% | "
+              "h2d busy %.0f%% | d2h busy %.0f%%\n",
+              report.virtual_seconds * 1e3,
+              100 * report.compute_busy_seconds / report.virtual_seconds,
+              100 * report.h2d_busy_seconds / report.virtual_seconds,
+              100 * report.d2h_busy_seconds / report.virtual_seconds);
+  std::printf("one dedicated stream is reader-bound at ~%s; sharing the "
+              "device keeps it busy instead of idle between buffers.\n",
+              human_rate(config.host.reader_bw).c_str());
+  return 0;
+}

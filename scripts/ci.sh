@@ -15,6 +15,13 @@ cmake -B "$BUILD_DIR" -S . -DSHREDDER_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+echo "=== multi-tenant service smoke (small-N BENCH_service) ==="
+if [ -x "$BUILD_DIR/microbench" ]; then
+  "$BUILD_DIR/microbench" --service_smoke_json="$BUILD_DIR/BENCH_service_smoke.json"
+else
+  echo "microbench not built (google-benchmark missing): skipping service smoke"
+fi
+
 echo "=== ASan/UBSan build (chunking stack) ==="
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$SAN_DIR" -S . -DSHREDDER_WERROR=ON -DSHREDDER_SANITIZE=ON

@@ -1,46 +1,89 @@
 #include "backup/backup_server.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <thread>
 
 #include "common/timer.h"
 
 namespace shredder::backup {
 
+namespace {
+
+bool chunker_equal(const chunking::ChunkerConfig& a,
+                   const chunking::ChunkerConfig& b) {
+  return a.window == b.window && a.mask_bits == b.mask_bits &&
+         a.marker == b.marker && a.min_size == b.min_size &&
+         a.max_size == b.max_size;
+}
+
+}  // namespace
+
 BackupServer::BackupServer(BackupServerConfig config)
     : config_(std::move(config)), index_(config_.costs.index_probe_s) {
   config_.chunker.validate();
-  if (config_.backend == ChunkerBackend::kShredderGpu) {
-    config_.shredder.chunker = config_.chunker;
-    shredder_ = std::make_unique<core::Shredder>(config_.shredder);
-  } else {
-    cpu_tables_ = std::make_unique<rabin::RabinTables>(config_.chunker.window);
-    cpu_chunker_ = std::make_unique<chunking::ParallelChunker>(
-        *cpu_tables_, config_.chunker, config_.cpu_threads,
-        chunking::AllocMode::kThreadArena);
+  switch (config_.backend) {
+    case ChunkerBackend::kShredderGpu:
+      config_.shredder.chunker = config_.chunker;
+      shredder_ = std::make_unique<core::Shredder>(config_.shredder);
+      break;
+    case ChunkerBackend::kPthreadsCpu:
+      cpu_tables_ = std::make_unique<rabin::RabinTables>(config_.chunker.window);
+      cpu_chunker_ = std::make_unique<chunking::ParallelChunker>(
+          *cpu_tables_, config_.chunker, config_.cpu_threads,
+          chunking::AllocMode::kThreadArena);
+      break;
+    case ChunkerBackend::kSharedService:
+      if (!config_.service) {
+        throw std::invalid_argument(
+            "BackupServer: kSharedService requires a ChunkingService");
+      }
+      if (!chunker_equal(config_.service->config().chunker, config_.chunker)) {
+        throw std::invalid_argument(
+            "BackupServer: shared service chunker configuration differs");
+      }
+      break;
   }
 }
 
-BackupRunStats BackupServer::backup_image(const std::string& image_id,
-                                          ByteSpan image,
-                                          const ImageRepository& repo,
-                                          BackupAgent& agent) {
+double BackupServer::chunk_image(const std::string& image_id, ByteSpan image,
+                                 std::vector<chunking::Chunk>& chunks) {
+  switch (config_.backend) {
+    case ChunkerBackend::kShredderGpu: {
+      auto result = shredder_->run(image);
+      chunks = std::move(result.chunks);
+      return result.virtual_seconds;
+    }
+    case ChunkerBackend::kPthreadsCpu: {
+      chunks = cpu_chunker_->chunk(image);
+      const gpu::HostSpec host;
+      return static_cast<double>(image.size()) /
+             host.pthreads_chunking_bw_hoard;
+    }
+    case ChunkerBackend::kSharedService: {
+      core::MemorySource source(image,
+                                config_.service->config().host.reader_bw);
+      service::TenantOptions opts;
+      opts.name = image_id;
+      auto result = config_.service->chunk_stream(source, std::move(opts));
+      chunks = std::move(result.chunks);
+      return result.report.virtual_seconds;
+    }
+  }
+  throw std::logic_error("BackupServer: unknown backend");
+}
+
+BackupRunStats BackupServer::dedup_and_ship(const std::string& image_id,
+                                            ByteSpan image,
+                                            std::vector<chunking::Chunk> chunks,
+                                            double generation_seconds,
+                                            double chunking_seconds,
+                                            BackupAgent& agent) {
   Stopwatch wall;
   BackupRunStats stats;
   stats.bytes = image.size();
-  stats.generation_seconds = repo.generation_seconds(image.size());
-
-  // --- Chunking stage ---
-  std::vector<chunking::Chunk> chunks;
-  if (config_.backend == ChunkerBackend::kShredderGpu) {
-    auto result = shredder_->run(image);
-    chunks = std::move(result.chunks);
-    stats.chunking_seconds = result.virtual_seconds;
-  } else {
-    chunks = cpu_chunker_->chunk(image);
-    const gpu::HostSpec host;
-    stats.chunking_seconds = static_cast<double>(image.size()) /
-                             host.pthreads_chunking_bw_hoard;
-  }
+  stats.generation_seconds = generation_seconds;
+  stats.chunking_seconds = chunking_seconds;
   stats.chunks = chunks.size();
 
   // --- Hash + index lookup + transfer stages ---
@@ -89,6 +132,70 @@ BackupRunStats BackupServer::backup_image(const std::string& image_id,
                    std::equal(recreated.begin(), recreated.end(), image.begin());
   stats.wall_seconds = wall.elapsed_seconds();
   return stats;
+}
+
+BackupRunStats BackupServer::backup_image(const std::string& image_id,
+                                          ByteSpan image,
+                                          const ImageRepository& repo,
+                                          BackupAgent& agent) {
+  Stopwatch wall;
+  std::vector<chunking::Chunk> chunks;
+  const double chunking_seconds = chunk_image(image_id, image, chunks);
+  auto stats = dedup_and_ship(image_id, image, std::move(chunks),
+                              repo.generation_seconds(image.size()),
+                              chunking_seconds, agent);
+  stats.wall_seconds = wall.elapsed_seconds();
+  return stats;
+}
+
+std::vector<BackupRunStats> BackupServer::backup_images(
+    const std::vector<SnapshotJob>& jobs, const ImageRepository& repo,
+    BackupAgent& agent) {
+  std::vector<BackupRunStats> all;
+  all.reserve(jobs.size());
+  if (config_.backend != ChunkerBackend::kSharedService) {
+    for (const auto& job : jobs) {
+      all.push_back(backup_image(job.image_id, job.image, repo, agent));
+    }
+    return all;
+  }
+
+  // Chunk every snapshot concurrently, one service tenant per image, all
+  // multiplexed over the shared device.
+  std::vector<std::vector<chunking::Chunk>> chunks(jobs.size());
+  std::vector<double> chunk_seconds(jobs.size(), 0.0);
+  std::vector<double> chunk_wall(jobs.size(), 0.0);
+  std::vector<std::exception_ptr> errors(jobs.size());
+  std::vector<std::thread> workers;
+  workers.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    workers.emplace_back([&, i] {
+      try {
+        Stopwatch wall;
+        chunk_seconds[i] =
+            chunk_image(jobs[i].image_id, jobs[i].image, chunks[i]);
+        chunk_wall[i] = wall.elapsed_seconds();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+
+  // Dedup/transfer serially in job order so the index walk is deterministic.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    auto stats = dedup_and_ship(jobs[i].image_id, jobs[i].image,
+                                std::move(chunks[i]),
+                                repo.generation_seconds(jobs[i].image.size()),
+                                chunk_seconds[i], agent);
+    // Per-image wall = its own (overlapping) chunking time + its dedup pass.
+    stats.wall_seconds += chunk_wall[i];
+    all.push_back(stats);
+  }
+  return all;
 }
 
 }  // namespace shredder::backup

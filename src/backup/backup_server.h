@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "backup/agent.h"
 #include "backup/image.h"
@@ -21,10 +22,14 @@
 #include "chunking/parallel.h"
 #include "core/shredder.h"
 #include "dedup/index.h"
+#include "service/service.h"
 
 namespace shredder::backup {
 
-enum class ChunkerBackend { kShredderGpu, kPthreadsCpu };
+// kShredderGpu owns a dedicated device; kSharedService chunks through a
+// caller-provided multi-tenant ChunkingService, so several backup servers
+// (or several concurrent snapshots of one server) share a single device.
+enum class ChunkerBackend { kShredderGpu, kPthreadsCpu, kSharedService };
 
 // Virtual-cost constants of the non-chunking stages (§7.3 calibration; the
 // paper notes its index lookup and network access are unoptimized).
@@ -47,6 +52,10 @@ struct BackupServerConfig {
   BackupCostModel costs;
   core::ShredderConfig shredder;   // used when backend == kShredderGpu
   std::size_t cpu_threads = 12;    // pthreads baseline width
+  // Shared chunking service, required for kSharedService. Its chunker
+  // configuration must equal `chunker` (streams must stay bit-identical to
+  // a dedicated run); the constructor enforces this.
+  std::shared_ptr<service::ChunkingService> service;
 };
 
 struct BackupRunStats {
@@ -78,10 +87,33 @@ class BackupServer {
   BackupRunStats backup_image(const std::string& image_id, ByteSpan image,
                               const ImageRepository& repo, BackupAgent& agent);
 
+  // One snapshot of a concurrent batch.
+  struct SnapshotJob {
+    std::string image_id;
+    ByteSpan image;
+  };
+
+  // Backs up several snapshots against one device. With the kSharedService
+  // backend every snapshot chunks concurrently as its own service tenant;
+  // the dedup/transfer stage then runs per image in `jobs` order (the index
+  // walk stays deterministic). Other backends degrade to a serial loop.
+  std::vector<BackupRunStats> backup_images(const std::vector<SnapshotJob>& jobs,
+                                            const ImageRepository& repo,
+                                            BackupAgent& agent);
+
   const dedup::ChunkIndex& index() const noexcept { return index_; }
   const BackupServerConfig& config() const noexcept { return config_; }
 
  private:
+  // Chunking stage: fills `chunks` and returns the virtual chunking seconds.
+  double chunk_image(const std::string& image_id, ByteSpan image,
+                     std::vector<chunking::Chunk>& chunks);
+  // Hash + index + transfer + verification stages shared by all paths.
+  BackupRunStats dedup_and_ship(const std::string& image_id, ByteSpan image,
+                                std::vector<chunking::Chunk> chunks,
+                                double generation_seconds,
+                                double chunking_seconds, BackupAgent& agent);
+
   BackupServerConfig config_;
   dedup::ChunkIndex index_;
   std::unique_ptr<core::Shredder> shredder_;        // GPU backend

@@ -34,6 +34,17 @@ class BoundedQueue {
     return true;
   }
 
+  // Non-blocking push: false when full or closed (the item is untouched on
+  // failure, so the caller can retry or shed load).
+  bool try_push(T& item) {
+    std::unique_lock lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
   // Blocks while empty and not closed. nullopt == closed and drained.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
@@ -75,6 +86,8 @@ class BoundedQueue {
     std::lock_guard lock(mutex_);
     return items_.size();
   }
+
+  std::size_t capacity() const noexcept { return capacity_; }
 
  private:
   const std::size_t capacity_;

@@ -1,0 +1,260 @@
+#include "core/pipeline.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+#include "gpusim/dma.h"
+
+namespace shredder::core {
+
+double store_stage_seconds(const gpu::DeviceSpec& spec,
+                           std::size_t n_boundaries, bool pinned) noexcept {
+  return gpu::dma_seconds(spec, static_cast<std::uint64_t>(n_boundaries) * 8,
+                          gpu::Direction::kDeviceToHost,
+                          pinned ? gpu::HostMemKind::kPinned
+                                 : gpu::HostMemKind::kPageable) +
+         static_cast<double>(n_boundaries) * 2e-9;
+}
+
+void PipelineEngineConfig::validate() const {
+  if (slot_bytes == 0) {
+    throw std::invalid_argument("PipelineEngineConfig: slot_bytes must be > 0");
+  }
+  if (ring_slots == 0) {
+    throw std::invalid_argument(
+        "PipelineEngineConfig: ring_slots must be >= 1");
+  }
+  if (kernel.blocks <= 0 || kernel.threads_per_block <= 0) {
+    throw std::invalid_argument("PipelineEngineConfig: bad kernel geometry");
+  }
+}
+
+PipelineEngine::PipelineEngine(const PipelineEngineConfig& config,
+                               gpu::Device& device,
+                               const rabin::RabinTables& tables,
+                               const chunking::ChunkerConfig& chunker)
+    : config_(config),
+      device_(device),
+      tables_(tables),
+      chunker_(chunker),
+      kparams_(config.kernel),
+      host_kind_(config.mode != GpuMode::kBasic ? gpu::HostMemKind::kPinned
+                                                : gpu::HostMemKind::kPageable),
+      to_transfer_(config.mode != GpuMode::kBasic ? config.ring_slots : 1),
+      to_kernel_(config.mode != GpuMode::kBasic ? 2 : 1),
+      to_store_(config.mode != GpuMode::kBasic ? 2 : 1) {
+  config_.validate();
+  kparams_.coalesced = config_.mode == GpuMode::kStreamsCoalesced;
+  if (pipelined()) {
+    ring_.emplace(device_.spec(), config_.ring_slots, config_.slot_bytes);
+    init_seconds_ = ring_->construction_cost_seconds();
+    for (std::size_t i = 0; i < config_.ring_slots; ++i) free_slots_.push_back(i);
+  }
+  // Device twin buffers (double buffering, §4.1.1).
+  const std::size_t n_twins = pipelined() ? 2 : 1;
+  for (std::size_t i = 0; i < n_twins; ++i) {
+    twins_.push_back(device_.alloc(config_.slot_bytes));
+  }
+  twins_free_ = n_twins;
+  transfer_thread_ = std::thread([this] { transfer_loop(); });
+  kernel_thread_ = std::thread([this] { kernel_loop(); });
+}
+
+PipelineEngine::~PipelineEngine() { stop(); }
+
+void PipelineEngine::stop() {
+  stopping_.store(true);
+  {
+    std::lock_guard lock(slot_mutex_);
+  }
+  slot_cv_.notify_all();
+  {
+    std::lock_guard lock(twin_mutex_);
+  }
+  twin_cv_.notify_all();
+  to_transfer_.close();
+  to_kernel_.close();
+  to_store_.close();
+  if (transfer_thread_.joinable()) transfer_thread_.join();
+  if (kernel_thread_.joinable()) kernel_thread_.join();
+}
+
+bool PipelineEngine::acquire_twin() {
+  std::unique_lock lock(twin_mutex_);
+  twin_cv_.wait(lock, [&] { return twins_free_ > 0 || stopping_.load(); });
+  if (twins_free_ == 0) return false;
+  --twins_free_;
+  return true;
+}
+
+void PipelineEngine::release_twin() {
+  {
+    std::lock_guard lock(twin_mutex_);
+    ++twins_free_;
+  }
+  twin_cv_.notify_one();
+}
+
+// Called from a stage thread's catch block: store the exception for
+// next_batch() and unblock every other party — producers waiting on a slot
+// lease or a full queue, and the peer stage thread waiting on a twin.
+void PipelineEngine::record_error_and_unblock() {
+  {
+    std::lock_guard lock(error_mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+  stopping_.store(true);
+  {
+    std::lock_guard lock(slot_mutex_);
+  }
+  slot_cv_.notify_all();
+  {
+    std::lock_guard lock(twin_mutex_);
+  }
+  twin_cv_.notify_all();
+  to_transfer_.close();
+  to_kernel_.close();
+  to_store_.close();
+}
+
+std::optional<std::size_t> PipelineEngine::lease_slot() {
+  std::unique_lock lock(slot_mutex_);
+  slot_cv_.wait(lock, [&] { return !free_slots_.empty() || stopping_; });
+  if (stopping_) return std::nullopt;
+  const std::size_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return slot;
+}
+
+void PipelineEngine::release_slot(std::size_t slot) {
+  {
+    std::lock_guard lock(slot_mutex_);
+    free_slots_.push_back(slot);
+  }
+  slot_cv_.notify_one();
+}
+
+bool PipelineEngine::submit(StreamBuffer buf) {
+  SHREDDER_CHECK_MSG(!buf.eos || buf.data.empty(),
+                     "PipelineEngine: eos buffers must carry no data");
+  StagedItem item;
+  item.data_len = buf.carry_prefix.size() + buf.data.size();
+  if (pipelined() && !buf.eos) {
+    const auto slot = lease_slot();
+    if (!slot.has_value()) return false;
+    item.slot = *slot;
+    auto span = ring_->slot_span(item.slot);
+    SHREDDER_CHECK(item.data_len <= span.size());
+    if (!buf.carry_prefix.empty()) {
+      std::memcpy(span.data(), buf.carry_prefix.data(),
+                  buf.carry_prefix.size());
+    }
+    if (!buf.data.empty()) {
+      std::memcpy(span.data() + buf.carry_prefix.size(), buf.data.data(),
+                  buf.data.size());
+    }
+    // The staged bytes now live in the pinned slot; drop the host copies.
+    buf.carry += buf.carry_prefix.size();
+    buf.carry_prefix = ByteVec{};
+    buf.data = ByteVec{};
+  } else if (!buf.eos && !buf.carry_prefix.empty()) {
+    // Basic (pageable) mode DMAs straight from host memory, which must be
+    // one contiguous span: splice prefix + payload here.
+    ByteVec staged;
+    staged.reserve(item.data_len);
+    staged.insert(staged.end(), buf.carry_prefix.begin(),
+                  buf.carry_prefix.end());
+    staged.insert(staged.end(), buf.data.begin(), buf.data.end());
+    buf.carry += buf.carry_prefix.size();
+    buf.carry_prefix = ByteVec{};
+    buf.data = std::move(staged);
+  }
+  item.meta = std::move(buf);
+  const std::size_t leased = item.slot;
+  if (!to_transfer_.push(std::move(item))) {
+    if (leased != kNoSlot) release_slot(leased);
+    return false;
+  }
+  return true;
+}
+
+void PipelineEngine::close() { to_transfer_.close(); }
+
+void PipelineEngine::transfer_loop() {
+  try {
+    std::size_t next_twin = 0;
+    while (auto item = to_transfer_.pop()) {
+      if (item->meta.eos) {
+        if (!to_kernel_.push(std::move(*item))) return;
+        continue;
+      }
+      const ByteSpan dma_src =
+          item->slot != kNoSlot
+              ? ByteSpan{ring_->slot_span(item->slot).data(), item->data_len}
+              : ByteSpan{item->meta.data.data(), item->data_len};
+      if (!acquire_twin()) return;
+      item->dev_slot = next_twin;
+      next_twin = (next_twin + 1) % twins_.size();
+      item->transfer_seconds =
+          device_.memcpy_h2d(twins_[item->dev_slot], 0, dma_src, host_kind_);
+      if (item->slot != kNoSlot) {
+        release_slot(item->slot);
+        item->slot = kNoSlot;
+      }
+      item->meta.data = ByteVec{};  // payload now lives on the device
+      if (!to_kernel_.push(std::move(*item))) return;
+    }
+    to_kernel_.close();
+  } catch (...) {
+    record_error_and_unblock();
+  }
+}
+
+void PipelineEngine::kernel_loop() {
+  try {
+    while (auto item = to_kernel_.pop()) {
+      BoundaryBatch batch;
+      batch.stream_id = item->meta.stream_id;
+      batch.seq = item->meta.seq;
+      if (item->meta.eos) {
+        batch.eos = true;
+        // For eos markers base_offset carries the stream's total byte count
+        // so the consumer can finalize without extra synchronization.
+        batch.payload_end = item->meta.base_offset;
+        if (!to_store_.push(std::move(batch))) return;
+        continue;
+      }
+      GpuChunkResult kr = chunk_on_gpu(
+          device_, twins_[item->dev_slot], item->data_len, item->meta.carry,
+          item->meta.base_offset, tables_, chunker_, kparams_);
+      release_twin();
+      batch.stages.reader = item->meta.reader_seconds;
+      batch.stages.transfer = item->transfer_seconds;
+      batch.stages.kernel = kr.stats.virtual_seconds;
+      batch.kernel_stats = kr.stats;
+      batch.boundaries = std::move(kr.boundaries);
+      batch.payload_end = item->meta.base_offset + item->data_len;
+      if (!to_store_.push(std::move(batch))) return;
+    }
+    to_store_.close();
+  } catch (...) {
+    record_error_and_unblock();
+  }
+}
+
+std::optional<BoundaryBatch> PipelineEngine::next_batch() {
+  auto batch = to_store_.pop();
+  if (!batch.has_value()) {
+    std::lock_guard lock(error_mutex_);
+    if (error_) {
+      auto err = error_;
+      error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+  return batch;
+}
+
+}  // namespace shredder::core

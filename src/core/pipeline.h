@@ -1,0 +1,185 @@
+// Reusable GPU chunking pipeline engine (paper §4.1–4.2, Figure 8).
+//
+// PipelineEngine is the transfer→kernel core of Shredder's 4-stage pipeline,
+// factored out of core::Shredder so that *any* number of producers can share
+// one device: every work item is tagged with the client stream that produced
+// it, flows through the pinned staging ring, the H2D DMA and the chunking
+// kernel in submission order, and comes back out as a BoundaryBatch carrying
+// the same tag. Single-stream Shredder::run and the multi-tenant
+// service::ChunkingService are both thin shells around this engine.
+//
+// Stage layout (each arrow is a bounded queue; depth bounds the buffers in
+// flight, exactly like Figure 8's ring):
+//
+//   submit() ──copy into leased pinned slot──► transfer thread
+//     (H2D DMA into a free device twin, slot lease released)
+//   ──► kernel thread (chunk_on_gpu) ──► next_batch() on the caller
+//
+// Pinned-ring slots are *leased*: submit() blocks while every slot is in
+// flight, which is the engine-level backpressure the service relies on when
+// clients outrun the device.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "chunking/chunk.h"
+#include "common/bytes.h"
+#include "common/queue.h"
+#include "core/kernels.h"
+#include "gpusim/device.h"
+#include "gpusim/pinned.h"
+#include "rabin/rabin.h"
+
+namespace shredder::core {
+
+// Operating modes exposing the paper's optimization ladder (Fig 12).
+enum class GpuMode { kBasic, kStreams, kStreamsCoalesced };
+
+// Per-buffer virtual durations of the four pipeline stages.
+struct StageSeconds {
+  double reader = 0;
+  double transfer = 0;
+  double kernel = 0;
+  double store = 0;
+
+  double sum() const noexcept { return reader + transfer + kernel + store; }
+};
+
+// A unit of pipeline work tagged with the client stream that produced it.
+// The staged bytes are carry_prefix ++ data: producers that already hold
+// carry and payload contiguously (AsyncReader) put everything in `data` and
+// set `carry`; producers with a separate window-context tail (the service
+// scheduler) pass it via `carry_prefix` and the engine splices the two
+// directly into the pinned slot — no concatenation copy on the hot path.
+struct StreamBuffer {
+  std::uint32_t stream_id = 0;
+  std::uint64_t seq = 0;          // per-stream buffer sequence number
+  std::size_t carry = 0;          // leading window-context bytes in `data`
+  ByteVec carry_prefix;           // window-context bytes staged before `data`
+  std::uint64_t base_offset = 0;  // absolute offset of the first staged byte
+  ByteVec data;                   // (carry +) payload
+  double reader_seconds = 0;      // modelled producer time for the payload
+  bool eos = false;               // end-of-stream marker; data must be empty
+};
+
+// Raw content boundaries of one buffer, tagged like the StreamBuffer that
+// produced them. eos batches carry no boundaries and mark that every
+// preceding buffer of that stream has been delivered.
+struct BoundaryBatch {
+  std::uint32_t stream_id = 0;
+  std::uint64_t seq = 0;
+  bool eos = false;
+  std::vector<std::uint64_t> boundaries;
+  StageSeconds stages;
+  gpu::KernelRunStats kernel_stats;
+  std::uint64_t payload_end = 0;  // absolute end offset covered so far
+};
+
+// Modelled Store-stage seconds for one batch: DMA of the boundary array
+// back to the host plus per-boundary filter handling.
+double store_stage_seconds(const gpu::DeviceSpec& spec,
+                           std::size_t n_boundaries, bool pinned) noexcept;
+
+struct PipelineEngineConfig {
+  GpuMode mode = GpuMode::kStreamsCoalesced;
+  std::size_t slot_bytes = 0;  // staging slot size = buffer_bytes + (w-1)
+  std::size_t ring_slots = 4;  // pinned ring = number of leasable slots
+  KernelParams kernel;         // coalesced flag is derived from `mode`
+
+  void validate() const;
+};
+
+class PipelineEngine {
+ public:
+  // The engine borrows `device`, `tables` and `chunker`; all three must
+  // outlive it. Throws std::invalid_argument on bad configuration.
+  PipelineEngine(const PipelineEngineConfig& config, gpu::Device& device,
+                 const rabin::RabinTables& tables,
+                 const chunking::ChunkerConfig& chunker);
+  ~PipelineEngine();
+
+  PipelineEngine(const PipelineEngine&) = delete;
+  PipelineEngine& operator=(const PipelineEngine&) = delete;
+
+  // Moves `buf` into the pipeline: leases a pinned slot (blocking while all
+  // slots are in flight — this is the backpressure point), stages the bytes
+  // and hands them to the transfer thread. Returns false if the engine was
+  // shut down. Buffers of one stream must be submitted in stream order.
+  bool submit(StreamBuffer buf);
+
+  // Signals end of all submissions; next_batch() drains and then returns
+  // nullopt.
+  void close();
+
+  // Next finished batch in global submission order; nullopt once closed and
+  // drained. Rethrows any pipeline-thread failure.
+  std::optional<BoundaryBatch> next_batch();
+
+  // Hard-stops the pipeline: wakes any producer blocked on a slot lease
+  // (their submit returns false), closes every queue and joins the stage
+  // threads. Idempotent; also runs from the destructor.
+  void stop();
+
+  // One-time pinned-ring construction cost (streams modes only).
+  double init_seconds() const noexcept { return init_seconds_; }
+  std::size_t ring_slots() const noexcept { return config_.ring_slots; }
+  bool pipelined() const noexcept { return config_.mode != GpuMode::kBasic; }
+
+ private:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  // A StreamBuffer whose payload has been staged into a leased pinned slot
+  // (streams modes) or left in `meta.data` (basic mode).
+  struct StagedItem {
+    StreamBuffer meta;
+    std::size_t slot = kNoSlot;
+    std::size_t data_len = 0;
+    std::size_t dev_slot = 0;
+    double transfer_seconds = 0;
+  };
+
+  std::optional<std::size_t> lease_slot();
+  void release_slot(std::size_t slot);
+  bool acquire_twin();
+  void release_twin();
+  void record_error_and_unblock();
+  void transfer_loop();
+  void kernel_loop();
+
+  PipelineEngineConfig config_;
+  gpu::Device& device_;
+  const rabin::RabinTables& tables_;
+  const chunking::ChunkerConfig& chunker_;
+  KernelParams kparams_;
+  gpu::HostMemKind host_kind_;
+  double init_seconds_ = 0;
+
+  std::optional<gpu::PinnedRing> ring_;
+  std::mutex slot_mutex_;
+  std::condition_variable slot_cv_;
+  std::vector<std::size_t> free_slots_;
+  std::atomic<bool> stopping_{false};  // wakes slot/twin waiters at shutdown
+
+  std::vector<gpu::DeviceBuffer> twins_;
+  std::mutex twin_mutex_;
+  std::condition_variable twin_cv_;
+  std::size_t twins_free_ = 0;
+
+  BoundedQueue<StagedItem> to_transfer_;
+  BoundedQueue<StagedItem> to_kernel_;
+  BoundedQueue<BoundaryBatch> to_store_;
+
+  std::exception_ptr error_;
+  std::mutex error_mutex_;
+  std::thread transfer_thread_;
+  std::thread kernel_thread_;
+};
+
+}  // namespace shredder::core

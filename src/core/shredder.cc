@@ -1,16 +1,14 @@
 #include "core/shredder.h"
 
 #include <algorithm>
-#include <cstring>
-#include <semaphore>
 #include <stdexcept>
 #include <thread>
 
 #include "chunking/minmax.h"
 #include "chunking/parallel.h"
 #include "common/check.h"
-#include "common/queue.h"
 #include "common/timer.h"
+#include "core/pipeline.h"
 #include "gpusim/dma.h"
 #include "gpusim/timeline.h"
 
@@ -36,54 +34,20 @@ Shredder::Shredder(ShredderConfig config)
   device_ = std::make_unique<gpu::Device>(config_.device, config_.sim_threads);
 }
 
-namespace {
-
-// Work item flowing between pipeline stages.
-struct PipelineItem {
-  ReadBuffer buf;
-  std::size_t dev_slot = 0;  // which device twin holds the payload
-  StageSeconds stages;
-};
-
-struct BoundaryBatch {
-  std::vector<std::uint64_t> boundaries;
-  StageSeconds stages;
-  gpu::KernelRunStats kernel_stats;
-  std::uint64_t payload_end = 0;  // absolute end offset covered so far
-};
-
-}  // namespace
-
 ShredderResult Shredder::run(DataSource& source,
                              const ChunkCallback& on_chunk) {
   const Stopwatch wall;
   ShredderResult result;
-  const std::size_t w = config_.chunker.window;
-  const std::size_t carry_bytes = w - 1;
-  const std::size_t slot_bytes = config_.buffer_bytes + carry_bytes;
+  const std::size_t carry_bytes = config_.chunker.window - 1;
   const bool pipelined = config_.mode != GpuMode::kBasic;
-  const gpu::HostMemKind host_kind = pipelined ? gpu::HostMemKind::kPinned
-                                               : gpu::HostMemKind::kPageable;
 
-  KernelParams kparams = config_.kernel;
-  kparams.coalesced = config_.mode == GpuMode::kStreamsCoalesced;
-
-  // Host-side staging: a ring of pinned buffers (allocated once, §4.1.2) in
-  // the streams modes; a pageable buffer per iteration in basic mode. The
-  // reader's output lands here before the DMA.
-  std::optional<gpu::PinnedRing> ring;
-  if (pipelined) {
-    ring.emplace(config_.device, config_.ring_slots, slot_bytes);
-    result.init_seconds = ring->construction_cost_seconds();
-  }
-
-  // Device twin buffers (double buffering, §4.1.1).
-  const std::size_t n_twins = pipelined ? 2 : 1;
-  std::vector<gpu::DeviceBuffer> twins;
-  for (std::size_t i = 0; i < n_twins; ++i) {
-    twins.push_back(device_->alloc(slot_bytes));
-  }
-  std::counting_semaphore<2> twin_free(static_cast<std::ptrdiff_t>(n_twins));
+  PipelineEngineConfig engine_cfg;
+  engine_cfg.mode = config_.mode;
+  engine_cfg.slot_bytes = config_.buffer_bytes + carry_bytes;
+  engine_cfg.ring_slots = config_.ring_slots;
+  engine_cfg.kernel = config_.kernel;
+  PipelineEngine engine(engine_cfg, *device_, tables_, config_.chunker);
+  result.init_seconds = engine.init_seconds();
 
   // Store-side state: min/max filter upcalling the application.
   std::uint64_t last_end = 0;
@@ -98,86 +62,44 @@ ShredderResult Shredder::run(DataSource& source,
       });
 
   // --- The pipeline ---
-  // Reader runs inside AsyncReader's thread; Transfer and Kernel+Store run
-  // on two further threads connected by depth-1 queues, so up to four
-  // buffers are in flight, matching the 4-stage pipeline of Figure 8.
-  AsyncReader reader(source, config_.buffer_bytes, carry_bytes,
-                     /*queue_depth=*/pipelined ? config_.ring_slots : 1);
-  BoundedQueue<PipelineItem> to_kernel(pipelined ? 2 : 1);
-  BoundedQueue<BoundaryBatch> to_store(pipelined ? 2 : 1);
-
+  // Reader runs inside AsyncReader's thread; a feeder thread stages its
+  // buffers into the engine (transfer + kernel threads live inside it);
+  // the Store stage runs on this thread, matching Figure 8's four stages.
   std::vector<StageSeconds> stage_log;
   std::uint64_t total_bytes = 0;
   std::uint64_t n_buffers = 0;
 
-  std::exception_ptr transfer_error;
-  std::thread transfer_thread([&] {
+  std::exception_ptr feed_error;
+  std::thread feeder([&] {
     try {
-      std::size_t next_twin = 0;
+      AsyncReader reader(source, config_.buffer_bytes, carry_bytes,
+                         /*queue_depth=*/pipelined ? config_.ring_slots : 1);
       while (auto buf = reader.next()) {
-        PipelineItem item;
-        item.stages.reader = buf->read_seconds;
-        ByteSpan dma_src{buf->data.data(), buf->data.size()};
-        if (pipelined) {
-          // Reader output -> pinned ring slot; the DMA then reads from the
-          // pinned slot. No extra virtual cost: the paper's asynchronous I/O
-          // lands SAN reads directly in the pinned ring (§5.2.1), so this
-          // in-process hop is plumbing, not a modelled stage.
-          auto slot = ring->acquire();
-          SHREDDER_CHECK(buf->data.size() <= slot.span.size());
-          std::memcpy(slot.span.data(), buf->data.data(), buf->data.size());
-          dma_src = ByteSpan{slot.span.data(), buf->data.size()};
-        }
-        twin_free.acquire();
-        item.dev_slot = next_twin;
-        next_twin = (next_twin + 1) % n_twins;
-        item.stages.transfer =
-            device_->memcpy_h2d(twins[item.dev_slot], 0, dma_src, host_kind);
-        item.buf = std::move(*buf);
-        if (!to_kernel.push(std::move(item))) return;
+        StreamBuffer sb;
+        sb.stream_id = 0;
+        sb.seq = buf->index;
+        sb.carry = buf->carry;
+        sb.base_offset = buf->stream_offset - buf->carry;
+        sb.reader_seconds = buf->read_seconds;
+        sb.data = std::move(buf->data);
+        if (!engine.submit(std::move(sb))) return;
       }
-      to_kernel.close();
+      engine.close();
     } catch (...) {
-      transfer_error = std::current_exception();
-      to_kernel.close();
+      feed_error = std::current_exception();
+      engine.close();
     }
   });
 
-  std::exception_ptr kernel_error;
-  std::thread kernel_thread([&] {
-    try {
-      while (auto item = to_kernel.pop()) {
-        const std::size_t data_len = item->buf.data.size();
-        const std::uint64_t base =
-            item->buf.stream_offset - item->buf.carry;
-        GpuChunkResult kr = chunk_on_gpu(
-            *device_, twins[item->dev_slot], data_len, item->buf.carry, base,
-            tables_, config_.chunker, kparams);
-        twin_free.release();
-        BoundaryBatch batch;
-        batch.stages = item->stages;
-        batch.stages.kernel = kr.stats.virtual_seconds;
-        batch.kernel_stats = kr.stats;
-        batch.boundaries = std::move(kr.boundaries);
-        batch.payload_end = base + data_len;
-        if (!to_store.push(std::move(batch))) return;
-      }
-      to_store.close();
-    } catch (...) {
-      kernel_error = std::current_exception();
-      twin_free.release();
-      to_store.close();
-    }
-  });
-
-  // Store stage runs on this thread.
-  while (auto batch = to_store.pop()) {
+  // Store stage runs on this thread. A pipeline-stage failure surfaces as a
+  // rethrow from next_batch(); capture it so the feeder thread can be
+  // unblocked and joined before the exception propagates.
+  std::exception_ptr store_error;
+  try {
+  while (auto batch = engine.next_batch()) {
     // Copy boundaries back (device -> host) and run the min/max filter.
-    const std::uint64_t boundary_bytes = batch->boundaries.size() * 8;
-    batch->stages.store =
-        gpu::dma_seconds(config_.device, boundary_bytes,
-                         gpu::Direction::kDeviceToHost, host_kind) +
-        static_cast<double>(batch->boundaries.size()) * 2e-9;
+    batch->stages.store = store_stage_seconds(
+        config_.device, batch->boundaries.size(), pipelined);
     for (std::uint64_t b : batch->boundaries) filter.push(b);
     result.raw_boundaries += batch->boundaries.size();
     total_bytes = batch->payload_end;
@@ -197,10 +119,13 @@ ShredderResult Shredder::run(DataSource& source,
     kt.shared_staged_bytes += ks.shared_staged_bytes;
     kt.wall_seconds += ks.wall_seconds;
   }
-  transfer_thread.join();
-  kernel_thread.join();
-  if (transfer_error) std::rethrow_exception(transfer_error);
-  if (kernel_error) std::rethrow_exception(kernel_error);
+  } catch (...) {
+    store_error = std::current_exception();
+    engine.stop();  // wakes a feeder blocked on a slot lease
+  }
+  feeder.join();
+  if (store_error) std::rethrow_exception(store_error);
+  if (feed_error) std::rethrow_exception(feed_error);
 
   filter.finish(total_bytes);
 

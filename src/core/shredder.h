@@ -29,6 +29,7 @@
 
 #include "chunking/chunk.h"
 #include "core/kernels.h"
+#include "core/pipeline.h"
 #include "core/source.h"
 #include "gpusim/device.h"
 #include "gpusim/pinned.h"
@@ -37,7 +38,9 @@
 
 namespace shredder::core {
 
-enum class GpuMode { kBasic, kStreams, kStreamsCoalesced };
+// GpuMode and StageSeconds live in core/pipeline.h (the pipeline engine is
+// shared with the multi-tenant service); both are re-exported here because
+// this header is the single-stream public API.
 
 struct ShredderConfig {
   chunking::ChunkerConfig chunker;
@@ -50,16 +53,6 @@ struct ShredderConfig {
   std::size_t sim_threads = 0;  // host threads simulating the GPU (0 = auto)
 
   void validate() const;
-};
-
-// Per-buffer virtual durations of the four pipeline stages.
-struct StageSeconds {
-  double reader = 0;
-  double transfer = 0;
-  double kernel = 0;
-  double store = 0;
-
-  double sum() const noexcept { return reader + transfer + kernel + store; }
 };
 
 struct ShredderResult {

@@ -4,7 +4,7 @@
 
 namespace shredder::dedup {
 
-bool ChunkStore::put(const Sha1Digest& digest, ByteSpan data) {
+PutOutcome ChunkStore::put(const Sha1Digest& digest, ByteSpan data) {
 #ifndef NDEBUG
   SHREDDER_CHECK_MSG(Sha1::hash(data) == digest,
                      "ChunkStore::put digest mismatch");
@@ -15,10 +15,10 @@ bool ChunkStore::put(const Sha1Digest& digest, ByteSpan data) {
       chunks_.try_emplace(digest, Entry{ByteVec(data.begin(), data.end()), 1});
   if (!inserted) {
     ++it->second.refs;
-    return false;
+    return PutOutcome::kRefAdded;
   }
   unique_bytes_ += data.size();
-  return true;
+  return PutOutcome::kInserted;
 }
 
 std::optional<ByteVec> ChunkStore::get(const Sha1Digest& digest) const {
@@ -39,6 +39,30 @@ bool ChunkStore::add_ref(const Sha1Digest& digest) {
   if (it == chunks_.end()) return false;
   ++it->second.refs;
   ++total_refs_;
+  return true;
+}
+
+std::optional<std::uint64_t> ChunkStore::release_ref(const Sha1Digest& digest) {
+  std::lock_guard lock(mutex_);
+  const auto it = chunks_.find(digest);
+  if (it == chunks_.end()) return std::nullopt;
+  --it->second.refs;
+  --total_refs_;
+  const std::uint64_t remaining = it->second.refs;
+  if (remaining == 0) {
+    unique_bytes_ -= it->second.data.size();
+    chunks_.erase(it);
+  }
+  return remaining;
+}
+
+bool ChunkStore::erase(const Sha1Digest& digest) {
+  std::lock_guard lock(mutex_);
+  const auto it = chunks_.find(digest);
+  if (it == chunks_.end()) return false;
+  total_refs_ -= it->second.refs;
+  unique_bytes_ -= it->second.data.size();
+  chunks_.erase(it);
   return true;
 }
 

@@ -14,14 +14,20 @@
 
 namespace shredder::dedup {
 
+// What a put() did: inserted a brand-new chunk, or found the digest already
+// stored and added one reference to it. Callers that must not silently
+// double-count (a shared store serving many tenants) branch on this.
+enum class PutOutcome { kInserted, kRefAdded };
+
 class ChunkStore {
  public:
   ChunkStore() = default;
 
-  // Inserts a chunk (no-op if the digest already exists); returns true if
-  // the chunk was new. The digest must be the SHA-1 of `data` — checked in
-  // debug builds.
-  bool put(const Sha1Digest& digest, ByteSpan data);
+  // Inserts a chunk with one reference, or — if the digest already exists —
+  // adds a reference to the stored copy, reported explicitly via the
+  // outcome. The digest must be the SHA-1 of `data` — checked in debug
+  // builds.
+  PutOutcome put(const Sha1Digest& digest, ByteSpan data);
 
   // Copy of the chunk payload, or nullopt if unknown.
   std::optional<ByteVec> get(const Sha1Digest& digest) const;
@@ -30,6 +36,15 @@ class ChunkStore {
 
   // Adds a reference to an existing chunk. Returns false if unknown.
   bool add_ref(const Sha1Digest& digest);
+
+  // Drops one reference (a tenant deleted a snapshot that used this chunk);
+  // the chunk is reclaimed when its last reference goes. Returns the
+  // remaining reference count, or nullopt if the digest is unknown.
+  std::optional<std::uint64_t> release_ref(const Sha1Digest& digest);
+
+  // Removes a chunk outright regardless of its reference count (offline
+  // garbage collection / forced eviction). Returns false if unknown.
+  bool erase(const Sha1Digest& digest);
 
   std::uint64_t unique_chunks() const;
   std::uint64_t unique_bytes() const;

@@ -71,6 +71,12 @@ class PinnedRing {
   };
   Slot acquire() noexcept;
 
+  // Direct access to one slot's storage, for callers that manage slot
+  // ownership themselves (the PipelineEngine leases indices explicitly).
+  MutableByteSpan slot_span(std::size_t index) noexcept {
+    return buffers_[index].span();
+  }
+
  private:
   std::size_t slot_size_;
   std::vector<PinnedBuffer> buffers_;

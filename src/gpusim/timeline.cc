@@ -9,16 +9,22 @@ GpuTimeline::GpuTimeline(std::size_t streams) : stream_free_(streams, 0.0) {
   if (streams == 0) throw std::invalid_argument("GpuTimeline: streams >= 1");
 }
 
+std::size_t GpuTimeline::add_stream() {
+  stream_free_.push_back(0.0);
+  return stream_free_.size() - 1;
+}
+
 double GpuTimeline::enqueue(std::size_t stream, EngineKind engine,
-                            double duration) {
+                            double duration, double earliest_start) {
   if (stream >= stream_free_.size()) {
     throw std::invalid_argument("GpuTimeline: bad stream index");
   }
-  if (duration < 0) {
+  if (duration < 0 || earliest_start < 0) {
     throw std::invalid_argument("GpuTimeline: negative duration");
   }
   const auto e = static_cast<std::size_t>(engine);
-  const double start = std::max(stream_free_[stream], engine_free_[e]);
+  const double start =
+      std::max({stream_free_[stream], engine_free_[e], earliest_start});
   const double finish = start + duration;
   stream_free_[stream] = finish;
   engine_free_[e] = finish;

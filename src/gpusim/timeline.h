@@ -24,9 +24,19 @@ class GpuTimeline {
   // Creates `streams` FIFO streams (CUDA streams). At least 1.
   explicit GpuTimeline(std::size_t streams);
 
+  // Adds one more stream (tenant sessions open dynamically in the service);
+  // returns its index.
+  std::size_t add_stream();
+
+  std::size_t num_streams() const noexcept { return stream_free_.size(); }
+
   // Enqueues an operation of `duration` seconds on `stream` using `engine`;
-  // returns its virtual finish time.
-  double enqueue(std::size_t stream, EngineKind engine, double duration);
+  // returns its virtual finish time. The operation starts no earlier than
+  // `earliest_start` (e.g. when the producing client has delivered the
+  // bytes), no earlier than the stream's previous operation, and no earlier
+  // than the engine frees up.
+  double enqueue(std::size_t stream, EngineKind engine, double duration,
+                 double earliest_start = 0.0);
 
   // Finish time of the last operation enqueued on `stream` so far.
   double stream_time(std::size_t stream) const;

@@ -1,0 +1,463 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+
+namespace shredder::service {
+
+void ServiceConfig::validate() const {
+  chunker.validate();
+  if (buffer_bytes < chunker.window * 2) {
+    throw std::invalid_argument("ServiceConfig: buffer_bytes too small");
+  }
+  if (ring_slots == 0) {
+    throw std::invalid_argument("ServiceConfig: ring_slots must be >= 1");
+  }
+  if (kernel.blocks <= 0 || kernel.threads_per_block <= 0) {
+    throw std::invalid_argument("ServiceConfig: bad kernel geometry");
+  }
+  if (max_tenants == 0) {
+    throw std::invalid_argument("ServiceConfig: max_tenants must be >= 1");
+  }
+  if (tenant_queue_depth == 0) {
+    throw std::invalid_argument(
+        "ServiceConfig: tenant_queue_depth must be >= 1");
+  }
+}
+
+ChunkingService::ChunkingService(ServiceConfig config)
+    : config_(std::move(config)),
+      tables_(config_.chunker.window),
+      timeline_(1) {
+  config_.validate();
+  device_ = std::make_unique<gpu::Device>(config_.device, config_.sim_threads);
+  core::PipelineEngineConfig engine_cfg;
+  engine_cfg.mode = config_.mode;
+  engine_cfg.slot_bytes = config_.buffer_bytes + config_.chunker.window - 1;
+  engine_cfg.ring_slots = config_.ring_slots;
+  engine_cfg.kernel = config_.kernel;
+  engine_ = std::make_unique<core::PipelineEngine>(engine_cfg, *device_,
+                                                   tables_, config_.chunker);
+  aggregate_.init_seconds = engine_->init_seconds();
+  scheduler_thread_ = std::thread([this] { scheduler_loop(); });
+  store_thread_ = std::thread([this] { store_loop(); });
+}
+
+ChunkingService::~ChunkingService() {
+  if (!stopped_) {
+    // Best-effort teardown for services abandoned without shutdown():
+    // stop the engine (unblocks a scheduler parked on a slot lease and the
+    // store thread parked on next_batch), then join our threads.
+    {
+      std::lock_guard lock(mu_);
+      draining_ = true;
+    }
+    sched_cv_.notify_all();
+    engine_->stop();
+    if (scheduler_thread_.joinable()) scheduler_thread_.join();
+    if (store_thread_.joinable()) store_thread_.join();
+  }
+}
+
+ChunkingService::StreamId ChunkingService::open(TenantOptions opts) {
+  std::lock_guard lock(mu_);
+  if (draining_ || stopped_) {
+    throw std::runtime_error("ChunkingService: open after shutdown");
+  }
+  if (open_sessions_ >= config_.max_tenants) {
+    throw std::runtime_error("ChunkingService: tenant capacity reached");
+  }
+  if (opts.weight == 0) {
+    throw std::invalid_argument("ChunkingService: weight must be >= 1");
+  }
+  auto session = std::make_unique<Session>();
+  const StreamId id = next_id_++;
+  session->id = id;
+  // A newcomer starts at the minimum credit among active sessions (virtual-
+  // time normalization): starting at 0 would let it monopolize the device
+  // until it caught up with long-running incumbents.
+  double min_credit = 0;
+  bool have_active = false;
+  for (const auto& [sid, existing] : sessions_) {
+    if (existing->complete) continue;
+    min_credit = have_active ? std::min(min_credit, existing->credit)
+                             : existing->credit;
+    have_active = true;
+  }
+  session->credit = have_active ? min_credit : 0.0;
+  session->channel_bw =
+      opts.channel_bw > 0 ? opts.channel_bw : config_.host.reader_bw;
+  session->queue =
+      std::make_unique<BoundedQueue<PendingBuffer>>(config_.tenant_queue_depth);
+  session->report.stream_id = id;
+  if (opts.name.empty()) {
+    session->report.name = "tenant-";
+    session->report.name += std::to_string(id);
+  } else {
+    session->report.name = opts.name;
+  }
+  session->report.weight = opts.weight;
+  session->filter = std::make_unique<chunking::MinMaxFilter>(
+      config_.chunker.min_size, config_.chunker.max_size,
+      [s = session.get()](std::uint64_t end) {
+        chunking::Chunk c{s->last_end, end - s->last_end};
+        s->last_end = end;
+        s->chunks.push_back(c);
+        if (s->opts.on_chunk) s->opts.on_chunk(c);
+      });
+  session->opts = std::move(opts);
+  sessions_.emplace(id, std::move(session));
+  ++open_sessions_;
+  ++aggregate_.n_tenants;
+  return id;
+}
+
+ChunkingService::Session* ChunkingService::find_session(StreamId id) {
+  std::lock_guard lock(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument("ChunkingService: unknown stream id");
+  }
+  return it->second.get();
+}
+
+void ChunkingService::enqueue_payload(Session& s, ByteVec payload) {
+  PendingBuffer pending;
+  pending.reader_seconds =
+      static_cast<double>(payload.size()) / s.channel_bw;
+  pending.payload = std::move(payload);
+  if (!s.queue->push(std::move(pending))) {
+    throw std::runtime_error("ChunkingService: stream closed during submit");
+  }
+  const std::size_t depth = s.queue->size();
+  std::size_t seen = s.max_depth.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !s.max_depth.compare_exchange_weak(seen, depth,
+                                            std::memory_order_relaxed)) {
+  }
+  {
+    std::lock_guard lock(mu_);
+  }
+  sched_cv_.notify_one();
+}
+
+void ChunkingService::submit(StreamId id, ByteSpan data) {
+  Session& s = *find_session(id);
+  {
+    std::lock_guard lock(mu_);
+    if (s.finishing) {
+      throw std::logic_error("ChunkingService: submit after finish");
+    }
+  }
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t take =
+        std::min(config_.buffer_bytes - s.staging.size(), data.size() - pos);
+    s.staging.insert(s.staging.end(), data.begin() + pos,
+                     data.begin() + pos + take);
+    pos += take;
+    if (s.staging.size() == config_.buffer_bytes) {
+      ByteVec payload;
+      payload.swap(s.staging);
+      enqueue_payload(s, std::move(payload));
+    }
+  }
+}
+
+bool ChunkingService::try_submit(StreamId id, ByteSpan data) {
+  Session& s = *find_session(id);
+  {
+    std::lock_guard lock(mu_);
+    if (s.finishing) {
+      throw std::logic_error("ChunkingService: submit after finish");
+    }
+  }
+  // Each stream has a single producer and only the scheduler pops, so a
+  // capacity check now cannot be invalidated by another producer later.
+  const std::size_t buffers_needed =
+      (s.staging.size() + data.size()) / config_.buffer_bytes;
+  const std::size_t queued = s.queue->size();
+  if (buffers_needed > s.queue->capacity() - queued) return false;
+  submit(id, data);
+  return true;
+}
+
+void ChunkingService::finish(StreamId id) {
+  Session& s = *find_session(id);
+  {
+    std::lock_guard lock(mu_);
+    if (s.finishing) return;  // idempotent
+  }
+  if (!s.staging.empty()) {
+    ByteVec payload;
+    payload.swap(s.staging);
+    enqueue_payload(s, std::move(payload));
+  }
+  {
+    std::lock_guard lock(mu_);
+    s.finishing = true;
+  }
+  sched_cv_.notify_one();
+}
+
+TenantResult ChunkingService::wait(StreamId id) {
+  std::unique_lock lock(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument("ChunkingService: unknown stream id");
+  }
+  Session* s = it->second.get();
+  complete_cv_.wait(lock, [&] { return s->complete || store_error_; });
+  if (store_error_ && !s->complete) {
+    std::rethrow_exception(store_error_);
+  }
+  TenantResult result;
+  result.report = std::move(s->report);
+  result.chunks = std::move(s->chunks);
+  sessions_.erase(it);
+  --open_sessions_;
+  return result;
+}
+
+TenantResult ChunkingService::chunk_stream(core::DataSource& source,
+                                           TenantOptions opts) {
+  const StreamId id = open(std::move(opts));
+  ByteVec buf(config_.buffer_bytes);
+  for (;;) {
+    const std::size_t n = source.read({buf.data(), buf.size()});
+    if (n == 0) break;
+    submit(id, ByteSpan{buf.data(), n});
+  }
+  finish(id);
+  return wait(id);
+}
+
+ChunkingService::Session* ChunkingService::pick_locked(bool* send_eos) {
+  Session* best = nullptr;
+  Session* eos_candidate = nullptr;
+  for (auto& [id, session] : sessions_) {
+    Session* s = session.get();
+    if (s->queue->size() > 0) {
+      if (best == nullptr || s->credit < best->credit) best = s;
+    } else if (s->finishing && !s->eos_sent) {
+      if (eos_candidate == nullptr) eos_candidate = s;
+    }
+  }
+  if (best != nullptr) {
+    *send_eos = false;
+    // Charge the dispatch here, under mu_, so open() can read credits when
+    // normalizing a newcomer.
+    best->credit += 1.0 / static_cast<double>(best->report.weight);
+    return best;
+  }
+  if (eos_candidate != nullptr) {
+    *send_eos = true;
+    eos_candidate->eos_sent = true;
+    return eos_candidate;
+  }
+  return nullptr;
+}
+
+void ChunkingService::dispatch(Session& s, bool send_eos) {
+  core::StreamBuffer sb;
+  sb.stream_id = s.id;
+  sb.seq = s.seq++;
+  if (send_eos) {
+    sb.eos = true;
+    sb.base_offset = s.dispatched_bytes;
+    engine_->submit(std::move(sb));
+    return;
+  }
+  auto pending = s.queue->try_pop();
+  SHREDDER_CHECK_MSG(pending.has_value(),
+                     "ChunkingService: scheduler raced an empty queue");
+  ByteVec& payload = pending->payload;
+  sb.base_offset = s.dispatched_bytes - s.carry.size();
+  sb.reader_seconds = pending->reader_seconds;
+  // Next buffer's window context: the last w-1 staged bytes, computed
+  // before carry and payload are moved into the work item.
+  const std::size_t keep = std::min(config_.chunker.window - 1,
+                                    s.carry.size() + payload.size());
+  ByteVec next_carry;
+  if (payload.size() >= keep) {
+    next_carry.assign(payload.end() - static_cast<std::ptrdiff_t>(keep),
+                      payload.end());
+  } else {
+    const std::size_t from_carry = keep - payload.size();
+    next_carry.assign(s.carry.end() - static_cast<std::ptrdiff_t>(from_carry),
+                      s.carry.end());
+    next_carry.insert(next_carry.end(), payload.begin(), payload.end());
+  }
+  s.dispatched_bytes += payload.size();
+  // Carry travels as a separate prefix: the engine splices it directly into
+  // the pinned slot, so no payload-sized concatenation happens here.
+  sb.carry_prefix = std::move(s.carry);
+  sb.data = std::move(payload);
+  s.carry = std::move(next_carry);
+  engine_->submit(std::move(sb));
+}
+
+void ChunkingService::scheduler_loop() {
+  for (;;) {
+    Session* pick = nullptr;
+    bool send_eos = false;
+    {
+      std::unique_lock lock(mu_);
+      for (;;) {
+        pick = pick_locked(&send_eos);
+        if (pick != nullptr) break;
+        if (draining_) {
+          lock.unlock();
+          engine_->close();
+          return;
+        }
+        sched_cv_.wait(lock);
+      }
+    }
+    // Dispatch outside the lock: engine_->submit may block on a pinned-slot
+    // lease, and the store thread needs mu_ to make progress meanwhile.
+    dispatch(*pick, send_eos);
+  }
+}
+
+void ChunkingService::store_loop() {
+  try {
+    while (auto batch = engine_->next_batch()) {
+      Session* s;
+      {
+        std::lock_guard lock(mu_);
+        const auto it = sessions_.find(batch->stream_id);
+        SHREDDER_CHECK_MSG(it != sessions_.end(),
+                           "ChunkingService: batch for unknown session");
+        s = it->second.get();
+      }
+      if (batch->eos) {
+        finalize_session(*s, batch->payload_end);
+        continue;
+      }
+      batch->stages.store = core::store_stage_seconds(
+          config_.device, batch->boundaries.size(), engine_->pipelined());
+      for (std::uint64_t b : batch->boundaries) s->filter->push(b);
+
+      // Virtual-time composition: the tenant's twin timeline streams model
+      // per-stream double buffering; the three engines are shared.
+      if (s->tl_base == static_cast<std::size_t>(-1)) {
+        s->tl_base = timeline_.add_stream();
+        timeline_.add_stream();
+      }
+      s->ready_v += batch->stages.reader;
+      const std::size_t tl_stream =
+          s->tl_base + static_cast<std::size_t>(batch->seq % 2);
+      const double h2d_finish =
+          timeline_.enqueue(tl_stream, gpu::EngineKind::kCopyH2D,
+                            batch->stages.transfer, s->ready_v);
+      if (s->report.n_buffers == 0) {
+        s->first_start_v = h2d_finish - batch->stages.transfer;
+      }
+      timeline_.enqueue(tl_stream, gpu::EngineKind::kCompute,
+                        batch->stages.kernel);
+      s->last_finish_v = timeline_.enqueue(
+          tl_stream, gpu::EngineKind::kCopyD2H, batch->stages.store);
+
+      auto& r = s->report;
+      r.n_buffers += 1;
+      r.raw_boundaries += batch->boundaries.size();
+      r.stage_totals.reader += batch->stages.reader;
+      r.stage_totals.transfer += batch->stages.transfer;
+      r.stage_totals.kernel += batch->stages.kernel;
+      r.stage_totals.store += batch->stages.store;
+      {
+        std::lock_guard lock(mu_);
+        aggregate_.n_buffers += 1;
+      }
+    }
+  } catch (...) {
+    // Fail the whole service: wake producers blocked in submit() (their
+    // queue push fails), let the scheduler drain out, and surface the
+    // error from wait()/shutdown().
+    engine_->stop();
+    std::lock_guard lock(mu_);
+    store_error_ = std::current_exception();
+    draining_ = true;
+    for (auto& [id, session] : sessions_) session->queue->close();
+    sched_cv_.notify_all();
+    complete_cv_.notify_all();
+  }
+}
+
+void ChunkingService::finalize_session(Session& s, std::uint64_t total_bytes) {
+  s.filter->finish(total_bytes);
+  auto& r = s.report;
+  r.total_bytes = total_bytes;
+  r.n_chunks = s.chunks.size();
+  r.max_queue_depth = s.max_depth.load(std::memory_order_relaxed);
+  r.virtual_start_seconds = s.first_start_v;
+  r.virtual_finish_seconds = s.last_finish_v;
+  r.virtual_seconds = s.last_finish_v - s.first_start_v;
+  r.virtual_throughput_bps =
+      r.virtual_seconds > 0
+          ? static_cast<double>(total_bytes) / r.virtual_seconds
+          : 0.0;
+  {
+    std::lock_guard lock(mu_);
+    aggregate_.total_bytes += total_bytes;
+    aggregate_.tenants.push_back(r);  // summary copy; chunks stay in session
+    s.complete = true;
+  }
+  complete_cv_.notify_all();
+}
+
+ServiceReport ChunkingService::shutdown() {
+  {
+    std::unique_lock lock(mu_);
+    if (stopped_) {
+      throw std::logic_error("ChunkingService: shutdown called twice");
+    }
+    // Every open session must have been finish()ed; wait for completion.
+    for (auto& [id, session] : sessions_) {
+      if (!session->finishing) {
+        std::string msg = "ChunkingService: shutdown with unfinished stream ";
+        msg += std::to_string(id);
+        throw std::logic_error(msg);
+      }
+    }
+    complete_cv_.wait(lock, [&] {
+      if (store_error_) return true;
+      for (auto& [id, session] : sessions_) {
+        if (!session->complete) return false;
+      }
+      return true;
+    });
+    draining_ = true;
+  }
+  sched_cv_.notify_all();
+  scheduler_thread_.join();  // closes the engine on exit
+  store_thread_.join();
+  {
+    std::lock_guard lock(mu_);
+    stopped_ = true;
+  }
+  if (store_error_) std::rethrow_exception(store_error_);
+
+  ServiceReport report = std::move(aggregate_);
+  report.virtual_seconds = timeline_.makespan();
+  report.aggregate_throughput_bps =
+      report.virtual_seconds > 0
+          ? static_cast<double>(report.total_bytes) / report.virtual_seconds
+          : 0.0;
+  report.h2d_busy_seconds = timeline_.engine_busy(gpu::EngineKind::kCopyH2D);
+  report.compute_busy_seconds =
+      timeline_.engine_busy(gpu::EngineKind::kCompute);
+  report.d2h_busy_seconds = timeline_.engine_busy(gpu::EngineKind::kCopyD2H);
+  report.device_occupancy =
+      report.virtual_seconds > 0
+          ? report.compute_busy_seconds / report.virtual_seconds
+          : 0.0;
+  report.wall_seconds = wall_.elapsed_seconds();
+  return report;
+}
+
+}  // namespace shredder::service

@@ -1,0 +1,234 @@
+// Multi-tenant chunking service: one GPU pipeline shared by many client
+// streams.
+//
+// Shredder's premise (paper §3–§5) is that the device chunks far faster than
+// any single client produces data, so a dedicated per-stream pipeline leaves
+// the GPU idle between buffers. ChunkingService closes that gap: it keeps
+// one core::PipelineEngine (pinned ring + device twins + kernel) alive for
+// the process lifetime and multiplexes N concurrent tenant streams over it.
+//
+// Architecture (docs/service.md has the full design):
+//
+//   client threads ──submit()──► per-tenant BoundedQueue  (backpressure #1)
+//        scheduler thread: weighted-fair pick ──► engine.submit()
+//                                  (pinned-slot lease = backpressure #2)
+//        engine: transfer thread ─► kernel thread  (tagged BoundaryBatches)
+//        store thread: per-tenant min/max splice, chunk upcalls, stats
+//
+// Per-tenant session state (Rabin carry across buffers, min/max filter,
+// sequence numbers) keeps every stream's output bit-identical to a dedicated
+// core::Shredder::run over the same bytes — the service equivalence suite in
+// tests/service_test.cc asserts exactly that.
+//
+// Virtual-time model: every tenant gets a twin pair of GpuTimeline streams
+// (double buffering); H2D/compute/D2H ops of all tenants compete for the
+// three device engines, and a buffer cannot start its H2D before the
+// tenant's modelled channel has delivered it. Aggregate throughput is
+// total bytes over the timeline makespan — the number BENCH_service.json
+// tracks against the single-stream baseline.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "chunking/chunk.h"
+#include "chunking/minmax.h"
+#include "common/bytes.h"
+#include "common/queue.h"
+#include "common/timer.h"
+#include "core/pipeline.h"
+#include "core/source.h"
+#include "gpusim/device.h"
+#include "gpusim/spec.h"
+#include "gpusim/timeline.h"
+#include "rabin/rabin.h"
+
+namespace shredder::service {
+
+struct ServiceConfig {
+  chunking::ChunkerConfig chunker;
+  std::size_t buffer_bytes = 32ull * 1024 * 1024;  // device dispatch unit
+  core::GpuMode mode = core::GpuMode::kStreamsCoalesced;
+  core::KernelParams kernel;
+  std::size_t ring_slots = 4;
+  gpu::DeviceSpec device;
+  gpu::HostSpec host;
+  std::size_t sim_threads = 0;     // host threads simulating the GPU
+  std::size_t max_tenants = 64;    // concurrent session cap (admission)
+  std::size_t tenant_queue_depth = 4;  // per-tenant buffers awaiting dispatch
+
+  void validate() const;
+};
+
+using ChunkCallback = std::function<void(const chunking::Chunk&)>;
+
+struct TenantOptions {
+  std::string name;          // label for reports; defaults to "tenant-<id>"
+  std::uint32_t weight = 1;  // weighted-fair share of device dispatches
+  double channel_bw = 0;     // modelled client channel, B/s; 0 = reader_bw
+  ChunkCallback on_chunk;    // invoked on the store thread, in stream order
+};
+
+// Per-tenant statistics, final after the session completes.
+struct TenantReport {
+  std::uint32_t stream_id = 0;
+  std::string name;
+  std::uint32_t weight = 1;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t n_buffers = 0;
+  std::uint64_t raw_boundaries = 0;
+  std::uint64_t n_chunks = 0;
+  core::StageSeconds stage_totals;  // summed virtual stage durations
+  // Virtual timestamps of this tenant's first device-op start and last
+  // device-op finish on the shared timeline, the duration between them
+  // (what a dedicated run's makespan corresponds to) and the stream
+  // throughput it implies (bytes / virtual_seconds).
+  double virtual_start_seconds = 0;
+  double virtual_finish_seconds = 0;
+  double virtual_seconds = 0;
+  double virtual_throughput_bps = 0;
+  std::size_t max_queue_depth = 0;  // backpressure high-water mark
+};
+
+struct TenantResult {
+  TenantReport report;
+  std::vector<chunking::Chunk> chunks;  // the stream's final chunking
+};
+
+// Aggregate service report, produced by shutdown().
+struct ServiceReport {
+  std::uint64_t total_bytes = 0;
+  std::uint64_t n_buffers = 0;
+  std::size_t n_tenants = 0;           // sessions admitted over the lifetime
+  double virtual_seconds = 0;          // timeline makespan over all tenants
+  double aggregate_throughput_bps = 0;
+  double h2d_busy_seconds = 0;
+  double compute_busy_seconds = 0;
+  double d2h_busy_seconds = 0;
+  double device_occupancy = 0;         // compute-engine busy fraction
+  double init_seconds = 0;             // one-time pinned-ring construction
+  double wall_seconds = 0;             // real host time the service ran
+  std::vector<TenantReport> tenants;   // in completion order
+};
+
+class ChunkingService {
+ public:
+  using StreamId = std::uint32_t;
+
+  // Throws std::invalid_argument on bad configuration.
+  explicit ChunkingService(ServiceConfig config);
+  ~ChunkingService();
+
+  ChunkingService(const ChunkingService&) = delete;
+  ChunkingService& operator=(const ChunkingService&) = delete;
+
+  // Admits a new tenant stream. Throws std::runtime_error when
+  // max_tenants sessions are currently open or the service is shut down.
+  StreamId open(TenantOptions opts = {});
+
+  // Appends bytes to the stream. Each stream is single-producer: one thread
+  // per StreamId (different streams may submit concurrently). Blocks while
+  // the tenant's dispatch queue is full — the backpressure the paper's SAN
+  // reader would exert on its producer.
+  void submit(StreamId id, ByteSpan data);
+
+  // Non-blocking submit: returns false (consuming nothing) if the bytes
+  // would have to wait on a full dispatch queue.
+  bool try_submit(StreamId id, ByteSpan data);
+
+  // Marks the stream complete; no further submits are allowed.
+  void finish(StreamId id);
+
+  // Blocks until the stream has fully drained, then returns its chunks and
+  // report and frees the session slot. finish() must have been called.
+  TenantResult wait(StreamId id);
+
+  // Convenience: feed a whole DataSource as one tenant (open/submit/finish/
+  // wait). Runs on the calling thread; concurrent calls = concurrent tenants.
+  TenantResult chunk_stream(core::DataSource& source, TenantOptions opts = {});
+
+  // Waits for all open sessions to complete (every stream must have been
+  // finish()ed), stops the pipeline and returns the aggregate report.
+  // The service cannot be used afterwards.
+  ServiceReport shutdown();
+
+  const ServiceConfig& config() const noexcept { return config_; }
+  const rabin::RabinTables& tables() const noexcept { return tables_; }
+
+ private:
+  struct PendingBuffer {
+    ByteVec payload;
+    double reader_seconds = 0;
+  };
+
+  struct Session {
+    StreamId id = 0;
+    TenantOptions opts;
+    double channel_bw = 0;
+
+    // Client side (single producer).
+    ByteVec staging;  // partial buffer accumulating towards buffer_bytes
+    std::unique_ptr<BoundedQueue<PendingBuffer>> queue;
+    std::atomic<std::size_t> max_depth{0};
+    bool finishing = false;  // guarded by mu_
+
+    // Scheduler side.
+    ByteVec carry;  // last w-1 payload bytes, window context for next buffer
+    std::uint64_t dispatched_bytes = 0;
+    std::uint64_t seq = 0;
+    double credit = 0;  // dispatches weighted by 1/weight; min credit wins
+    bool eos_sent = false;  // guarded by mu_
+
+    // Store side.
+    std::unique_ptr<chunking::MinMaxFilter> filter;
+    std::uint64_t last_end = 0;
+    std::vector<chunking::Chunk> chunks;
+    TenantReport report;
+    double ready_v = 0;         // cumulative modelled client-produce time
+    double first_start_v = 0;   // start of the first H2D on the timeline
+    double last_finish_v = 0;   // finish time of the latest device op
+    std::size_t tl_base = static_cast<std::size_t>(-1);  // twin stream pair
+    bool complete = false;  // guarded by mu_
+  };
+
+  Session* find_session(StreamId id);
+  void enqueue_payload(Session& s, ByteVec payload);
+  Session* pick_locked(bool* send_eos);
+  void dispatch(Session& s, bool send_eos);
+  void scheduler_loop();
+  void store_loop();
+  void finalize_session(Session& s, std::uint64_t total_bytes);
+
+  ServiceConfig config_;
+  rabin::RabinTables tables_;
+  std::unique_ptr<gpu::Device> device_;
+  std::unique_ptr<core::PipelineEngine> engine_;
+  const Stopwatch wall_;
+
+  std::mutex mu_;  // sessions map, scheduler wakeups, completion, timeline
+  std::condition_variable sched_cv_;
+  std::condition_variable complete_cv_;
+  std::unordered_map<StreamId, std::unique_ptr<Session>> sessions_;
+  StreamId next_id_ = 1;
+  std::size_t open_sessions_ = 0;
+  bool draining_ = false;
+  bool stopped_ = false;
+  std::exception_ptr store_error_;
+
+  gpu::GpuTimeline timeline_;
+  ServiceReport aggregate_;  // store thread only, until shutdown
+
+  std::thread scheduler_thread_;
+  std::thread store_thread_;
+};
+
+}  // namespace shredder::service

@@ -2,10 +2,13 @@
 // table, backup agent protocol, and the end-to-end dedup backup server.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "backup/agent.h"
 #include "backup/backup_server.h"
 #include "backup/image.h"
 #include "common/rng.h"
+#include "service/service.h"
 
 namespace shredder::backup {
 namespace {
@@ -18,17 +21,34 @@ ImageRepoConfig small_repo_config() {
   return c;
 }
 
+chunking::ChunkerConfig small_backup_chunker() {
+  chunking::ChunkerConfig c;
+  c.window = 32;
+  c.mask_bits = 11;  // ~2 KB chunks for test density
+  c.marker = 0x42;
+  c.min_size = 512;
+  c.max_size = 8 * 1024;
+  return c;
+}
+
+std::shared_ptr<service::ChunkingService> make_shared_service() {
+  service::ServiceConfig cfg;
+  cfg.chunker = small_backup_chunker();
+  cfg.buffer_bytes = 512 * 1024;
+  cfg.sim_threads = 4;
+  return std::make_shared<service::ChunkingService>(cfg);
+}
+
 BackupServerConfig small_server_config(ChunkerBackend backend) {
   BackupServerConfig c;
   c.backend = backend;
-  c.chunker.window = 32;
-  c.chunker.mask_bits = 11;  // ~2 KB chunks for test density
-  c.chunker.marker = 0x42;
-  c.chunker.min_size = 512;
-  c.chunker.max_size = 8 * 1024;
+  c.chunker = small_backup_chunker();
   c.shredder.buffer_bytes = 512 * 1024;
   c.shredder.sim_threads = 4;
   c.cpu_threads = 4;
+  if (backend == ChunkerBackend::kSharedService) {
+    c.service = make_shared_service();
+  }
   return c;
 }
 
@@ -171,7 +191,68 @@ TEST_P(BackupBackends, SecondIdenticalSnapshotFullyDeduplicated) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, BackupBackends,
                          ::testing::Values(ChunkerBackend::kShredderGpu,
-                                           ChunkerBackend::kPthreadsCpu));
+                                           ChunkerBackend::kPthreadsCpu,
+                                           ChunkerBackend::kSharedService));
+
+// --- Shared-service backend ---
+
+TEST(BackupServer, SharedServiceMatchesDedicatedGpu) {
+  // Routing the chunker through the multi-tenant service must not change a
+  // single byte of the backup stream: same chunk counts, same dedup result.
+  ImageRepository repo(small_repo_config());
+  BackupServer gpu_server(small_server_config(ChunkerBackend::kShredderGpu));
+  BackupServer svc_server(small_server_config(ChunkerBackend::kSharedService));
+  BackupAgent agent_a, agent_b;
+  for (int step = 0; step < 2; ++step) {
+    const auto snap = repo.snapshot(step * 0.1, step + 1);
+    std::string id = "vm";
+    id += std::to_string(step);
+    const auto ga = gpu_server.backup_image(id, as_bytes(snap), repo, agent_a);
+    const auto gb = svc_server.backup_image(id, as_bytes(snap), repo, agent_b);
+    EXPECT_TRUE(ga.verified);
+    EXPECT_TRUE(gb.verified);
+    EXPECT_EQ(ga.chunks, gb.chunks);
+    EXPECT_EQ(ga.duplicate_chunks, gb.duplicate_chunks);
+    EXPECT_EQ(ga.unique_bytes, gb.unique_bytes);
+    EXPECT_GT(gb.chunking_seconds, 0.0);
+  }
+  EXPECT_EQ(agent_a.unique_bytes(), agent_b.unique_bytes());
+}
+
+TEST(BackupServer, ConcurrentSnapshotsThroughOneDevice) {
+  ImageRepository repo(small_repo_config());
+  BackupServer server(small_server_config(ChunkerBackend::kSharedService));
+  BackupAgent agent;
+  const auto base = repo.snapshot(0.0, 1);
+  const auto similar = repo.snapshot(0.10, 2);
+  std::vector<BackupServer::SnapshotJob> jobs;
+  jobs.push_back({"vm1", as_bytes(base)});
+  jobs.push_back({"vm2", as_bytes(similar)});
+  jobs.push_back({"vm3", as_bytes(base)});  // identical to vm1
+  const auto stats = server.backup_images(jobs, repo, agent);
+  ASSERT_EQ(stats.size(), 3u);
+  for (const auto& s : stats) EXPECT_TRUE(s.verified);
+  EXPECT_EQ(stats[0].duplicate_chunks, 0u);
+  // vm3 is byte-identical to vm1: everything deduplicates.
+  EXPECT_EQ(stats[2].duplicate_chunks, stats[2].chunks);
+  EXPECT_EQ(stats[2].unique_bytes, 0u);
+  // vm2 shares most content with vm1.
+  EXPECT_LT(stats[1].unique_bytes, stats[1].bytes / 2);
+  // The shared service stays usable for the next batch.
+  const auto again =
+      server.backup_image("vm4", as_bytes(similar), repo, agent);
+  EXPECT_TRUE(again.verified);
+  EXPECT_EQ(again.duplicate_chunks, again.chunks);
+}
+
+TEST(BackupServer, SharedServiceConfigValidation) {
+  auto cfg = small_server_config(ChunkerBackend::kSharedService);
+  cfg.service = nullptr;
+  EXPECT_THROW(BackupServer{cfg}, std::invalid_argument);
+  cfg = small_server_config(ChunkerBackend::kSharedService);
+  cfg.chunker.mask_bits = 9;  // diverges from the service's chunker
+  EXPECT_THROW(BackupServer{cfg}, std::invalid_argument);
+}
 
 TEST(BackupServer, MinMaxChunkSizesRespected) {
   ImageRepository repo(small_repo_config());

@@ -168,12 +168,54 @@ TEST(ChunkIndex, ConcurrentInsertsExactlyOneWinner) {
 
 // --- ChunkStore ---
 
+TEST(ChunkStore, ReleaseRefReclaimsOnLastReference) {
+  ChunkStore store;
+  const auto a = random_bytes(64, 7);
+  const auto b = random_bytes(32, 8);
+  const auto da = Sha1::hash(as_bytes(a));
+  const auto db = Sha1::hash(as_bytes(b));
+  store.put(da, as_bytes(a));
+  store.put(db, as_bytes(b));
+  store.add_ref(da);  // a: 2 refs, b: 1 ref
+  EXPECT_EQ(store.release_ref(da), 1u);
+  EXPECT_TRUE(store.contains(da));
+  EXPECT_EQ(store.release_ref(da), 0u);
+  EXPECT_FALSE(store.contains(da));  // reclaimed with the last reference
+  EXPECT_EQ(store.unique_chunks(), 1u);
+  EXPECT_EQ(store.unique_bytes(), b.size());
+  EXPECT_EQ(store.total_refs(), 1u);
+  EXPECT_FALSE(store.release_ref(da).has_value());  // now unknown
+}
+
+TEST(ChunkStore, EraseRemovesRegardlessOfRefs) {
+  ChunkStore store;
+  const auto a = random_bytes(64, 9);
+  const auto da = Sha1::hash(as_bytes(a));
+  store.put(da, as_bytes(a));
+  store.add_ref(da);
+  EXPECT_TRUE(store.erase(da));
+  EXPECT_FALSE(store.contains(da));
+  EXPECT_EQ(store.total_refs(), 0u);
+  EXPECT_EQ(store.unique_bytes(), 0u);
+  EXPECT_FALSE(store.erase(da));
+}
+
+TEST(ChunkStore, PutReportsInsertedVsRefAdded) {
+  ChunkStore store;
+  const auto a = random_bytes(64, 10);
+  const auto da = Sha1::hash(as_bytes(a));
+  EXPECT_EQ(store.put(da, as_bytes(a)), PutOutcome::kInserted);
+  EXPECT_EQ(store.put(da, as_bytes(a)), PutOutcome::kRefAdded);
+  EXPECT_EQ(store.total_refs(), 2u);
+  EXPECT_EQ(store.unique_chunks(), 1u);
+}
+
 TEST(ChunkStore, PutGetRoundTrip) {
   ChunkStore store;
   const auto data = random_bytes(1000, 5);
   const auto d = Sha1::hash(as_bytes(data));
-  EXPECT_TRUE(store.put(d, as_bytes(data)));
-  EXPECT_FALSE(store.put(d, as_bytes(data)));  // duplicate
+  EXPECT_EQ(store.put(d, as_bytes(data)), PutOutcome::kInserted);
+  EXPECT_EQ(store.put(d, as_bytes(data)), PutOutcome::kRefAdded);  // duplicate
   EXPECT_EQ(store.get(d).value(), data);
   EXPECT_EQ(store.unique_chunks(), 1u);
   EXPECT_EQ(store.unique_bytes(), 1000u);

@@ -314,6 +314,27 @@ TEST(Timeline, RejectsBadArguments) {
   GpuTimeline tl(1);
   EXPECT_THROW(tl.enqueue(1, EngineKind::kCompute, 1.0), std::invalid_argument);
   EXPECT_THROW(tl.enqueue(0, EngineKind::kCompute, -1.0), std::invalid_argument);
+  EXPECT_THROW(tl.enqueue(0, EngineKind::kCompute, 1.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Timeline, EarliestStartDelaysOperation) {
+  GpuTimeline tl(1);
+  // Producer delivers the buffer at t=5; the engine is free long before.
+  tl.enqueue(0, EngineKind::kCopyH2D, 1.0, 5.0);
+  EXPECT_DOUBLE_EQ(tl.makespan(), 6.0);
+  // A later op with an earlier ready time still queues FIFO on the stream.
+  tl.enqueue(0, EngineKind::kCompute, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(tl.makespan(), 7.0);
+}
+
+TEST(Timeline, AddStreamGrowsDynamically) {
+  GpuTimeline tl(1);
+  const std::size_t s = tl.add_stream();
+  EXPECT_EQ(s, 1u);
+  EXPECT_EQ(tl.num_streams(), 2u);
+  tl.enqueue(s, EngineKind::kCompute, 2.0);
+  EXPECT_DOUBLE_EQ(tl.stream_time(s), 2.0);
 }
 
 // --- pipeline_makespan (Figure 9 mechanics) ---
