@@ -26,6 +26,9 @@ int main(int argc, char** argv) {
 
   BackupServerConfig server_cfg;  // Shredder GPU backend by default
   server_cfg.shredder.buffer_bytes = 8ull << 20;
+  // Hash chunks on the device too: the pipeline hands chunk+digest pairs to
+  // the dedup stage and the host hash stage drops off the critical path.
+  server_cfg.fingerprint_on_device = true;
   BackupServer server(server_cfg);
   BackupAgent agent;
 

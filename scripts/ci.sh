@@ -22,12 +22,19 @@ else
   echo "microbench not built (google-benchmark missing): skipping service smoke"
 fi
 
-echo "=== ASan/UBSan build (chunking stack) ==="
+echo "=== on-device fingerprint smoke (small-image BENCH_fingerprint) ==="
+if [ -x "$BUILD_DIR/microbench" ]; then
+  "$BUILD_DIR/microbench" --fingerprint_smoke_json="$BUILD_DIR/BENCH_fingerprint_smoke.json"
+else
+  echo "microbench not built (google-benchmark missing): skipping fingerprint smoke"
+fi
+
+echo "=== ASan/UBSan build (chunking + fingerprint stack) ==="
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$SAN_DIR" -S . -DSHREDDER_WERROR=ON -DSHREDDER_SANITIZE=ON
 cmake --build "$SAN_DIR" -j "$JOBS" \
-  --target chunking_test rabin_test minmax_test
+  --target chunking_test rabin_test minmax_test fingerprint_test
 ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS" \
-  -R 'chunking_test|rabin_test|minmax_test'
+  -R 'chunking_test|rabin_test|minmax_test|fingerprint_test'
 
 echo "=== ci OK ==="

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "common/bytes.h"
-#include "dedup/sha1.h"
+#include "dedup/digest.h"
 #include "dedup/store.h"
 
 namespace shredder::backup {
@@ -20,7 +20,7 @@ class BackupAgent {
   // One element of the backup stream: a pointer (digest only) or a payload-
   // carrying chunk.
   struct Message {
-    dedup::Sha1Digest digest;
+    dedup::ChunkDigest digest;
     ByteVec payload;  // empty => pointer to an already-stored chunk
   };
 
@@ -39,7 +39,7 @@ class BackupAgent {
 
  private:
   dedup::ChunkStore store_;
-  std::map<std::string, std::vector<dedup::Sha1Digest>> recipes_;
+  std::map<std::string, std::vector<dedup::ChunkDigest>> recipes_;
 };
 
 }  // namespace shredder::backup

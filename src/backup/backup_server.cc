@@ -25,9 +25,12 @@ BackupServer::BackupServer(BackupServerConfig config)
   switch (config_.backend) {
     case ChunkerBackend::kShredderGpu:
       config_.shredder.chunker = config_.chunker;
+      config_.shredder.fingerprint_on_device = config_.fingerprint_on_device;
       shredder_ = std::make_unique<core::Shredder>(config_.shredder);
       break;
     case ChunkerBackend::kPthreadsCpu:
+      // The CPU baseline has no device to fingerprint on.
+      config_.fingerprint_on_device = false;
       cpu_tables_ = std::make_unique<rabin::RabinTables>(config_.chunker.window);
       cpu_chunker_ = std::make_unique<chunking::ParallelChunker>(
           *cpu_tables_, config_.chunker, config_.cpu_threads,
@@ -42,16 +45,23 @@ BackupServer::BackupServer(BackupServerConfig config)
         throw std::invalid_argument(
             "BackupServer: shared service chunker configuration differs");
       }
+      if (config_.service->config().fingerprint_on_device !=
+          config_.fingerprint_on_device) {
+        throw std::invalid_argument(
+            "BackupServer: shared service fingerprint_on_device differs");
+      }
       break;
   }
 }
 
 double BackupServer::chunk_image(const std::string& image_id, ByteSpan image,
-                                 std::vector<chunking::Chunk>& chunks) {
+                                 std::vector<chunking::Chunk>& chunks,
+                                 std::vector<dedup::ChunkDigest>& digests) {
   switch (config_.backend) {
     case ChunkerBackend::kShredderGpu: {
       auto result = shredder_->run(image);
       chunks = std::move(result.chunks);
+      digests = std::move(result.digests);
       return result.virtual_seconds;
     }
     case ChunkerBackend::kPthreadsCpu: {
@@ -67,34 +77,47 @@ double BackupServer::chunk_image(const std::string& image_id, ByteSpan image,
       opts.name = image_id;
       auto result = config_.service->chunk_stream(source, std::move(opts));
       chunks = std::move(result.chunks);
+      digests = std::move(result.digests);
       return result.report.virtual_seconds;
     }
   }
   throw std::logic_error("BackupServer: unknown backend");
 }
 
-BackupRunStats BackupServer::dedup_and_ship(const std::string& image_id,
-                                            ByteSpan image,
-                                            std::vector<chunking::Chunk> chunks,
-                                            double generation_seconds,
-                                            double chunking_seconds,
-                                            BackupAgent& agent) {
+BackupRunStats BackupServer::dedup_and_ship(
+    const std::string& image_id, ByteSpan image,
+    std::vector<chunking::Chunk> chunks,
+    std::vector<dedup::ChunkDigest> digests, double generation_seconds,
+    double chunking_seconds, BackupAgent& agent) {
   Stopwatch wall;
   BackupRunStats stats;
   stats.bytes = image.size();
   stats.generation_seconds = generation_seconds;
   stats.chunking_seconds = chunking_seconds;
   stats.chunks = chunks.size();
+  stats.device_fingerprint = !digests.empty();
+  if (stats.device_fingerprint && digests.size() != chunks.size()) {
+    throw std::invalid_argument(
+        "BackupServer: digest/chunk count mismatch from the chunking stage");
+  }
 
   // --- Hash + index lookup + transfer stages ---
+  // With device fingerprints the hash stage already happened inside the
+  // chunking pipeline (its kernel time is part of chunking_seconds), so the
+  // host hashing term drops out of the bandwidth equation.
   stats.hashing_seconds =
-      static_cast<double>(image.size()) / config_.costs.host_sha1_bw;
+      stats.device_fingerprint
+          ? 0.0
+          : static_cast<double>(image.size()) / config_.costs.host_hash_bw;
   agent.begin_image(image_id);
   std::uint64_t unique_chunks = 0;
-  for (const auto& c : chunks) {
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const auto& c = chunks[i];
     const ByteSpan payload = image.subspan(
         static_cast<std::size_t>(c.offset), static_cast<std::size_t>(c.size));
-    const auto digest = dedup::Sha1::hash(payload);
+    const auto digest = stats.device_fingerprint
+                            ? digests[i]
+                            : dedup::ChunkHasher::hash(payload);
     const auto existing = index_.lookup_or_insert(
         digest, dedup::ChunkLocation{next_store_offset_, c.size});
     BackupAgent::Message msg;
@@ -140,8 +163,10 @@ BackupRunStats BackupServer::backup_image(const std::string& image_id,
                                           BackupAgent& agent) {
   Stopwatch wall;
   std::vector<chunking::Chunk> chunks;
-  const double chunking_seconds = chunk_image(image_id, image, chunks);
+  std::vector<dedup::ChunkDigest> digests;
+  const double chunking_seconds = chunk_image(image_id, image, chunks, digests);
   auto stats = dedup_and_ship(image_id, image, std::move(chunks),
+                              std::move(digests),
                               repo.generation_seconds(image.size()),
                               chunking_seconds, agent);
   stats.wall_seconds = wall.elapsed_seconds();
@@ -163,6 +188,7 @@ std::vector<BackupRunStats> BackupServer::backup_images(
   // Chunk every snapshot concurrently, one service tenant per image, all
   // multiplexed over the shared device.
   std::vector<std::vector<chunking::Chunk>> chunks(jobs.size());
+  std::vector<std::vector<dedup::ChunkDigest>> digests(jobs.size());
   std::vector<double> chunk_seconds(jobs.size(), 0.0);
   std::vector<double> chunk_wall(jobs.size(), 0.0);
   std::vector<std::exception_ptr> errors(jobs.size());
@@ -172,8 +198,8 @@ std::vector<BackupRunStats> BackupServer::backup_images(
     workers.emplace_back([&, i] {
       try {
         Stopwatch wall;
-        chunk_seconds[i] =
-            chunk_image(jobs[i].image_id, jobs[i].image, chunks[i]);
+        chunk_seconds[i] = chunk_image(jobs[i].image_id, jobs[i].image,
+                                       chunks[i], digests[i]);
         chunk_wall[i] = wall.elapsed_seconds();
       } catch (...) {
         errors[i] = std::current_exception();
@@ -188,7 +214,7 @@ std::vector<BackupRunStats> BackupServer::backup_images(
   // Dedup/transfer serially in job order so the index walk is deterministic.
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     auto stats = dedup_and_ship(jobs[i].image_id, jobs[i].image,
-                                std::move(chunks[i]),
+                                std::move(chunks[i]), std::move(digests[i]),
                                 repo.generation_seconds(jobs[i].image.size()),
                                 chunk_seconds[i], agent);
     // Per-image wall = its own (overlapping) chunking time + its dedup pass.

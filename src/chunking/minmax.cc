@@ -21,7 +21,9 @@ void MinMaxFilter::force_up_to(std::uint64_t target) {
 
 void MinMaxFilter::push(std::uint64_t b) {
   if (finished_) throw std::invalid_argument("MinMaxFilter: already finished");
-  if (b <= prev_raw_ && prev_raw_ != 0) {
+  // b == 0 must be rejected explicitly: prev_raw_ starts at 0, so the
+  // ascending check alone would let a zero boundary through repeatedly.
+  if (b == 0 || b <= prev_raw_) {
     throw std::invalid_argument("MinMaxFilter: raw not strictly ascending");
   }
   prev_raw_ = b;
@@ -31,6 +33,20 @@ void MinMaxFilter::push(std::uint64_t b) {
   if (b - last_ < min_size_ || b == last_) return;
   last_ = b;
   emit_(last_);
+}
+
+void MinMaxFilter::drain_forced(std::uint64_t upto) {
+  if (finished_) throw std::invalid_argument("MinMaxFilter: already finished");
+  if (max_size_ == 0) return;
+  // Inclusive bound, unlike force_up_to's strict one: once `upto` bytes have
+  // streamed past, a gap of exactly max_size already forces a boundary —
+  // either a later push(b > upto) or finish() would emit it at this same
+  // offset, so emitting it now keeps the output sequence identical while
+  // making every boundary at or before `upto` final.
+  while (upto >= last_ + max_size_) {
+    last_ += max_size_;
+    emit_(last_);
+  }
 }
 
 void MinMaxFilter::finish(std::uint64_t total) {

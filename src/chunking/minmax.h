@@ -35,6 +35,14 @@ class MinMaxFilter {
   // and the final boundary at `total` (the final chunk may be < min_size).
   void finish(std::uint64_t total);
 
+  // Eagerly emits every max-size boundary at or before `upto`, given that
+  // all raw boundaries <= upto have already been pushed. The emitted
+  // sequence stays identical to what later push()/finish() calls would
+  // produce — this only moves emission earlier, which is what lets the GPU
+  // fingerprint stage cut chunk hashes while the buffer is still resident
+  // on the device. No-op when max_size == 0.
+  void drain_forced(std::uint64_t upto);
+
   std::uint64_t last_accepted() const noexcept { return last_; }
 
  private:

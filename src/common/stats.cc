@@ -13,15 +13,16 @@ namespace shredder {
 void Summary::add(double x) noexcept {
   ++count_;
   sum_ += x;
-  sum_sq_ += x * x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
   min_ = std::min(min_, x);
   max_ = std::max(max_, x);
 }
 
 double Summary::stddev() const noexcept {
   if (count_ < 2) return 0.0;
-  const double n = static_cast<double>(count_);
-  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  const double var = m2_ / (static_cast<double>(count_) - 1.0);
   return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
@@ -55,8 +56,11 @@ double Histogram::quantile(double q) const {
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double next = cum + static_cast<double>(counts_[i]);
     if (next >= target) {
+      // The overflow bucket has no upper edge; interpolating into an invented
+      // one would fabricate mass, so clamp its quantiles to the last bound.
+      if (i >= bounds_.size()) return bounds_.back();
       const double lo = i == 0 ? 0.0 : bounds_[i - 1];
-      const double hi = i < bounds_.size() ? bounds_[i] : bounds_.back() * 2.0;
+      const double hi = bounds_[i];
       const double frac =
           counts_[i] == 0 ? 0.0 : (target - cum) / static_cast<double>(counts_[i]);
       return lo + frac * (hi - lo);
@@ -100,10 +104,17 @@ std::string TablePrinter::fmt(double v, int precision) {
 std::string TablePrinter::to_string() const {
   std::ostringstream out;
   auto emit = [&](const std::vector<std::string>& cells) {
-    for (const auto& c : cells) {
-      out << c;
-      const int pad = col_width_ - static_cast<int>(c.size());
-      for (int i = 0; i < std::max(pad, 1); ++i) out << ' ';
+    // Columns live on a fixed grid at i * col_width_. A cell wider than its
+    // column borrows from the gap but later cells re-align to the grid, so
+    // one oversized value cannot shift the rest of the row.
+    std::size_t len = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out << cells[i];
+      len += cells[i].size();
+      const std::size_t next_col = (i + 1) * static_cast<std::size_t>(col_width_);
+      const std::size_t pad = len < next_col ? next_col - len : 1;
+      for (std::size_t p = 0; p < pad; ++p) out << ' ';
+      len += pad;
     }
     out << '\n';
   };

@@ -14,16 +14,20 @@ class Summary {
   void add(double x) noexcept;
 
   std::uint64_t count() const noexcept { return count_; }
-  double mean() const noexcept { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double mean() const noexcept { return mean_; }
   double min() const noexcept { return min_; }
   double max() const noexcept { return max_; }
   double stddev() const noexcept;
   double sum() const noexcept { return sum_; }
 
  private:
+  // Welford's online algorithm: mean_ and m2_ (sum of squared deviations)
+  // stay numerically stable even when the mean dwarfs the spread, where the
+  // naive sum_sq - sum^2/n form cancels catastrophically.
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
-  double sum_sq_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };

@@ -152,4 +152,101 @@ GpuChunkResult chunk_on_gpu(gpu::Device& device, const gpu::DeviceBuffer& buf,
   return result;
 }
 
+GpuFingerprintResult fingerprint_on_gpu(
+    gpu::Device& device, const gpu::DeviceBuffer& buf, std::size_t data_len,
+    std::size_t carry, std::uint64_t base_offset,
+    const std::vector<std::uint64_t>& cuts, dedup::ChunkHasher& carry_ctx,
+    const KernelParams& params) {
+  if (data_len > buf.size()) {
+    throw std::invalid_argument("fingerprint_on_gpu: data_len exceeds buffer");
+  }
+  if (carry > data_len) {
+    throw std::invalid_argument("fingerprint_on_gpu: carry exceeds data_len");
+  }
+  const std::uint64_t hash_begin = base_offset + carry;
+  const std::uint64_t hash_end = base_offset + data_len;
+  if (!std::is_sorted(cuts.begin(), cuts.end()) ||
+      (!cuts.empty() && (cuts.front() <= hash_begin || cuts.back() > hash_end))) {
+    throw std::invalid_argument("fingerprint_on_gpu: cuts out of range");
+  }
+  const ByteSpan data = buf.span().first(data_len);
+
+  // Hash tasks over the payload: task k < cuts.size() closes the chunk
+  // ending at cuts[k]; the final task absorbs the open tail into the ctx
+  // carried to the next buffer. Task 0 continues `carry_ctx` (a chunk that
+  // began in an earlier buffer); every other task hashes bytes fully
+  // resident here, so tasks are independent and hash in parallel.
+  const std::size_t n_tasks = cuts.size() + 1;
+  GpuFingerprintResult result;
+  result.digests.resize(cuts.size());
+  dedup::ChunkHasher tail_ctx;  // written by the block that owns the tail
+
+  gpu::LaunchConfig launch;
+  launch.blocks = params.blocks;
+  launch.threads_per_block = params.threads_per_block;
+  launch.exact_dram = params.exact_dram;
+  const auto& spec = device.spec();
+  launch.cycles_per_byte = spec.sha256_cycles_per_byte;
+  if (params.coalesced) {
+    launch.txn_bytes = spec.coalesced_txn_bytes;
+    launch.concurrent_streams = static_cast<std::uint64_t>(
+        std::min(params.blocks, spec.num_sms));
+  } else {
+    launch.txn_bytes = spec.uncoalesced_txn_bytes;
+    launch.concurrent_streams =
+        static_cast<std::uint64_t>(launch.total_threads());
+  }
+
+  const auto kernel = [&](gpu::BlockCtx& ctx) {
+    // Contiguous task ranges per block, like the chunking kernel's
+    // sub-streams: block b owns tasks [b*per, (b+1)*per).
+    const auto nb = static_cast<std::size_t>(ctx.num_blocks());
+    const auto b = static_cast<std::size_t>(ctx.block_idx());
+    const std::size_t per = (n_tasks + nb - 1) / nb;
+    const std::size_t first = std::min(n_tasks, b * per);
+    const std::size_t last = std::min(n_tasks, (b + 1) * per);
+    const std::uint64_t dev_base = buf.device_addr();
+    for (std::size_t t = first; t < last; ++t) {
+      const std::uint64_t seg_begin = t == 0 ? hash_begin : cuts[t - 1];
+      const std::uint64_t seg_end = t < cuts.size() ? cuts[t] : hash_end;
+      const std::size_t off = static_cast<std::size_t>(seg_begin - base_offset);
+      const std::size_t len = static_cast<std::size_t>(seg_end - seg_begin);
+      if (len > 0) {
+        ctx.record_global_read(dev_base + off, len);
+        ctx.record_processed(len);
+      }
+      if (t < cuts.size()) {
+        if (t == 0) {
+          carry_ctx.update(data.subspan(off, len));
+          result.digests[t] = carry_ctx.finish();
+        } else {
+          dedup::ChunkHasher h;
+          h.update(data.subspan(off, len));
+          result.digests[t] = h.finish();
+        }
+      } else if (t == 0) {
+        // No cut in this buffer: the whole payload extends the open chunk.
+        carry_ctx.update(data.subspan(off, len));
+        tail_ctx = carry_ctx;
+      } else {
+        dedup::ChunkHasher h;
+        h.update(data.subspan(off, len));
+        tail_ctx = h;
+      }
+    }
+  };
+
+  result.stats = device.launch(launch, kernel);
+  carry_ctx = tail_ctx;
+  // Fixed per-chunk cost (schedule + padding + digest write) on top of the
+  // byte-rate model.
+  const double per_chunk =
+      static_cast<double>(cuts.size()) * spec.sha256_per_chunk_s;
+  result.stats.compute_seconds += per_chunk;
+  result.stats.virtual_seconds =
+      result.stats.launch_seconds +
+      std::max(result.stats.compute_seconds, result.stats.memory_seconds);
+  return result;
+}
+
 }  // namespace shredder::core

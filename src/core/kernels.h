@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "chunking/chunk.h"
+#include "dedup/digest.h"
 #include "gpusim/device.h"
 #include "rabin/rabin.h"
 
@@ -45,5 +46,27 @@ GpuChunkResult chunk_on_gpu(gpu::Device& device, const gpu::DeviceBuffer& buf,
                             const rabin::RabinTables& tables,
                             const chunking::ChunkerConfig& config,
                             const KernelParams& params);
+
+struct GpuFingerprintResult {
+  // One SHA-256 digest per cut, in cut order; bit-identical to the host
+  // dedup::Sha256 over the same chunk bytes.
+  std::vector<dedup::ChunkDigest> digests;
+  gpu::KernelRunStats stats;
+};
+
+// Fingerprint kernel (§4.3-style second device stage): hashes the payload
+// bytes buf[carry, data_len) — still resident from the chunking kernel —
+// into per-chunk SHA-256 digests. `cuts` are the resolved chunk end offsets
+// (absolute, ascending, each in (base_offset+carry, base_offset+data_len]).
+// `carry_ctx` is the running hash of the open chunk's bytes from previous
+// buffers; on return it holds the bytes after the last cut, so chunks that
+// span buffers hash incrementally without re-reading evicted data. Each
+// closed chunk is an independent hash task, mapped one-per-thread across the
+// launch's blocks.
+GpuFingerprintResult fingerprint_on_gpu(
+    gpu::Device& device, const gpu::DeviceBuffer& buf, std::size_t data_len,
+    std::size_t carry, std::uint64_t base_offset,
+    const std::vector<std::uint64_t>& cuts, dedup::ChunkHasher& carry_ctx,
+    const KernelParams& params);
 
 }  // namespace shredder::core

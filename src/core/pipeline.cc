@@ -4,19 +4,45 @@
 #include <stdexcept>
 #include <utility>
 
+#include "chunking/minmax.h"
 #include "common/check.h"
 #include "gpusim/dma.h"
 
 namespace shredder::core {
 
 double store_stage_seconds(const gpu::DeviceSpec& spec,
-                           std::size_t n_boundaries, bool pinned) noexcept {
-  return gpu::dma_seconds(spec, static_cast<std::uint64_t>(n_boundaries) * 8,
-                          gpu::Direction::kDeviceToHost,
-                          pinned ? gpu::HostMemKind::kPinned
-                                 : gpu::HostMemKind::kPageable) +
-         static_cast<double>(n_boundaries) * 2e-9;
+                           std::size_t n_boundaries, bool pinned,
+                           std::size_t digest_bytes) noexcept {
+  const gpu::HostMemKind kind =
+      pinned ? gpu::HostMemKind::kPinned : gpu::HostMemKind::kPageable;
+  double s = gpu::dma_seconds(spec, static_cast<std::uint64_t>(n_boundaries) * 8,
+                              gpu::Direction::kDeviceToHost, kind) +
+             static_cast<double>(n_boundaries) * 2e-9;
+  if (digest_bytes > 0) {
+    // The digest array comes back as its own D2H DMA.
+    s += gpu::dma_seconds(spec, digest_bytes, gpu::Direction::kDeviceToHost,
+                          kind);
+  }
+  return s;
 }
+
+// Device-side chunk resolution for the fingerprint stage. The cutter is a
+// MinMaxFilter fed the buffer's raw boundaries plus a drain_forced() at each
+// buffer end, which makes every chunk end at or before the buffer's last
+// payload byte final while the bytes are still resident — the emitted
+// sequence is provably identical to the plain store-side filter's (see
+// drain_forced in chunking/minmax.h). `ctx` accumulates the open chunk's
+// hash across buffers so chunks larger than a buffer never need evicted
+// bytes re-read.
+struct PipelineEngine::FingerprintSession {
+  std::vector<std::uint64_t> pending;  // cuts resolved for the current buffer
+  chunking::MinMaxFilter cutter;
+  dedup::ChunkHasher ctx;
+
+  FingerprintSession(std::uint64_t min_size, std::uint64_t max_size)
+      : cutter(min_size, max_size,
+               [this](std::uint64_t end) { pending.push_back(end); }) {}
+};
 
 void PipelineEngineConfig::validate() const {
   if (slot_bytes == 0) {
@@ -212,6 +238,56 @@ void PipelineEngine::transfer_loop() {
   }
 }
 
+PipelineEngine::FingerprintSession& PipelineEngine::fp_session(
+    std::uint32_t stream_id) {
+  auto it = fp_sessions_.find(stream_id);
+  if (it == fp_sessions_.end()) {
+    it = fp_sessions_
+             .emplace(stream_id, std::make_unique<FingerprintSession>(
+                                     chunker_.min_size, chunker_.max_size))
+             .first;
+  }
+  return *it->second;
+}
+
+// Runs the fingerprint kernel for one chunked buffer: resolve the chunk ends
+// this buffer makes final, hash them over the resident device twin, and
+// attach (ends, digests, stage seconds) to the batch.
+void PipelineEngine::fingerprint_batch(StagedItem& item, BoundaryBatch& batch) {
+  FingerprintSession& s = fp_session(item.meta.stream_id);
+  s.pending.clear();
+  for (const std::uint64_t b : batch.boundaries) s.cutter.push(b);
+  s.cutter.drain_forced(batch.payload_end);
+  GpuFingerprintResult fr = fingerprint_on_gpu(
+      device_, twins_[item.dev_slot], item.data_len, item.meta.carry,
+      item.meta.base_offset, s.pending, s.ctx, kparams_);
+  batch.stages.fingerprint = fr.stats.virtual_seconds;
+  batch.fingerprint_stats = fr.stats;
+  batch.chunk_ends = std::move(s.pending);
+  batch.digests = std::move(fr.digests);
+  s.pending = {};
+}
+
+// eos: closes the stream's trailing chunk. All payload bytes have already
+// been absorbed into the carried hash context, so the final digest needs no
+// device work beyond the finalize round.
+void PipelineEngine::finish_fingerprint(std::uint32_t stream_id,
+                                        std::uint64_t total,
+                                        BoundaryBatch& batch) {
+  const auto it = fp_sessions_.find(stream_id);
+  if (it == fp_sessions_.end()) return;  // empty stream: nothing to close
+  FingerprintSession& s = *it->second;
+  s.pending.clear();
+  s.cutter.finish(total);
+  SHREDDER_CHECK_MSG(s.pending.size() <= 1,
+                     "fingerprint eos resolved more than the trailing chunk");
+  if (!s.pending.empty()) {
+    batch.chunk_ends = std::move(s.pending);
+    batch.digests.push_back(s.ctx.finish());
+  }
+  fp_sessions_.erase(it);
+}
+
 void PipelineEngine::kernel_loop() {
   try {
     while (auto item = to_kernel_.pop()) {
@@ -223,19 +299,28 @@ void PipelineEngine::kernel_loop() {
         // For eos markers base_offset carries the stream's total byte count
         // so the consumer can finalize without extra synchronization.
         batch.payload_end = item->meta.base_offset;
+        if (config_.fingerprint) {
+          finish_fingerprint(batch.stream_id, batch.payload_end, batch);
+        }
         if (!to_store_.push(std::move(batch))) return;
         continue;
       }
       GpuChunkResult kr = chunk_on_gpu(
           device_, twins_[item->dev_slot], item->data_len, item->meta.carry,
           item->meta.base_offset, tables_, chunker_, kparams_);
-      release_twin();
       batch.stages.reader = item->meta.reader_seconds;
       batch.stages.transfer = item->transfer_seconds;
       batch.stages.kernel = kr.stats.virtual_seconds;
       batch.kernel_stats = kr.stats;
       batch.boundaries = std::move(kr.boundaries);
       batch.payload_end = item->meta.base_offset + item->data_len;
+      if (config_.fingerprint) {
+        // The hash kernel reads the same resident twin, so it must finish
+        // before the twin is released; the next buffer's H2D still overlaps
+        // on the other twin — exactly the copy/compute overlap of §4.1.1.
+        fingerprint_batch(*item, batch);
+      }
+      release_twin();
       if (!to_store_.push(std::move(batch))) return;
     }
     to_store_.close();

@@ -13,7 +13,15 @@
 //
 //   submit() ──copy into leased pinned slot──► transfer thread
 //     (H2D DMA into a free device twin, slot lease released)
-//   ──► kernel thread (chunk_on_gpu) ──► next_batch() on the caller
+//   ──► kernel thread (chunk_on_gpu [+ fingerprint_on_gpu]) ──►
+//       next_batch() on the caller
+//
+// With config.fingerprint set, the kernel thread runs a second device
+// kernel per buffer: it resolves the final (min/max-filtered) chunk ends on
+// the device side and SHA-256-hashes each chunk over the still-resident
+// twin, so batches come back with chunk+digest pairs and the host never
+// rehashes. The hash kernel of buffer i overlaps the H2D of buffer i+1 on
+// the other twin (docs/fingerprint.md has the timeline).
 //
 // Pinned-ring slots are *leased*: submit() blocks while every slot is in
 // flight, which is the engine-level backpressure the service relies on when
@@ -24,15 +32,18 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "chunking/chunk.h"
 #include "common/bytes.h"
 #include "common/queue.h"
 #include "core/kernels.h"
+#include "dedup/digest.h"
 #include "gpusim/device.h"
 #include "gpusim/pinned.h"
 #include "rabin/rabin.h"
@@ -42,14 +53,20 @@ namespace shredder::core {
 // Operating modes exposing the paper's optimization ladder (Fig 12).
 enum class GpuMode { kBasic, kStreams, kStreamsCoalesced };
 
-// Per-buffer virtual durations of the four pipeline stages.
+// Per-buffer virtual durations of the pipeline stages. `fingerprint` is the
+// on-device hash kernel (zero unless the engine fingerprints); it runs on
+// the compute engine right after the chunking kernel, overlapping the next
+// buffer's H2D exactly like the chunking kernel does.
 struct StageSeconds {
   double reader = 0;
   double transfer = 0;
   double kernel = 0;
+  double fingerprint = 0;
   double store = 0;
 
-  double sum() const noexcept { return reader + transfer + kernel + store; }
+  double sum() const noexcept {
+    return reader + transfer + kernel + fingerprint + store;
+  }
 };
 
 // A unit of pipeline work tagged with the client stream that produced it.
@@ -72,26 +89,58 @@ struct StreamBuffer {
 // Raw content boundaries of one buffer, tagged like the StreamBuffer that
 // produced them. eos batches carry no boundaries and mark that every
 // preceding buffer of that stream has been delivered.
+//
+// When the engine fingerprints, chunk_ends/digests carry the stream's
+// *final* chunking (min/max applied on the device side) resolved as far as
+// this buffer allows, with one device-computed SHA-256 per chunk; the eos
+// batch then carries the stream's trailing chunk. Consumers use them
+// directly instead of running their own min/max filter.
 struct BoundaryBatch {
   std::uint32_t stream_id = 0;
   std::uint64_t seq = 0;
   bool eos = false;
   std::vector<std::uint64_t> boundaries;
+  std::vector<std::uint64_t> chunk_ends;      // fingerprint mode only
+  std::vector<dedup::ChunkDigest> digests;    // 1:1 with chunk_ends
   StageSeconds stages;
   gpu::KernelRunStats kernel_stats;
+  gpu::KernelRunStats fingerprint_stats;
   std::uint64_t payload_end = 0;  // absolute end offset covered so far
 };
 
 // Modelled Store-stage seconds for one batch: DMA of the boundary array
-// back to the host plus per-boundary filter handling.
+// back to the host, the digest-array DMA when the fingerprint stage ran
+// (digest_bytes = sizeof(ChunkDigest) * n_digests), plus per-boundary
+// filter handling.
 double store_stage_seconds(const gpu::DeviceSpec& spec,
-                           std::size_t n_boundaries, bool pinned) noexcept;
+                           std::size_t n_boundaries, bool pinned,
+                           std::size_t digest_bytes = 0) noexcept;
+
+// Walks a fingerprint-mode batch's (chunk_ends, digests) pairs: rebuilds
+// each chunk from the stream's previous end offset, advances it, and hands
+// (chunk, digest) to `fn` — the one place the pairing/reassembly rule
+// lives, shared by every consumer (Shredder's store loop, the service's
+// per-tenant store path).
+template <typename Fn>
+void for_each_fingerprinted_chunk(const BoundaryBatch& batch,
+                                  std::uint64_t& last_end, Fn&& fn) {
+  for (std::size_t i = 0; i < batch.chunk_ends.size(); ++i) {
+    const chunking::Chunk c{last_end, batch.chunk_ends[i] - last_end};
+    last_end = batch.chunk_ends[i];
+    fn(c, batch.digests[i]);
+  }
+}
 
 struct PipelineEngineConfig {
   GpuMode mode = GpuMode::kStreamsCoalesced;
   std::size_t slot_bytes = 0;  // staging slot size = buffer_bytes + (w-1)
   std::size_t ring_slots = 4;  // pinned ring = number of leasable slots
   KernelParams kernel;         // coalesced flag is derived from `mode`
+  // Adds the on-device fingerprint stage: after the chunking kernel, a
+  // SHA-256 kernel hashes every resolved chunk over the still-resident
+  // buffer and the digests ride back with the batch. Requires producers to
+  // submit an eos StreamBuffer per stream (the trailing chunk closes there).
+  bool fingerprint = false;
 
   void validate() const;
 };
@@ -145,6 +194,16 @@ class PipelineEngine {
     double transfer_seconds = 0;
   };
 
+  // Per-stream device-resident fingerprint state (kernel thread only):
+  // the min/max cutter resolving final chunk ends and the running SHA-256
+  // of the open chunk. Defined in pipeline.cc.
+  struct FingerprintSession;
+
+  FingerprintSession& fp_session(std::uint32_t stream_id);
+  void fingerprint_batch(StagedItem& item, BoundaryBatch& batch);
+  void finish_fingerprint(std::uint32_t stream_id, std::uint64_t total,
+                          BoundaryBatch& batch);
+
   std::optional<std::size_t> lease_slot();
   void release_slot(std::size_t slot);
   bool acquire_twin();
@@ -175,6 +234,10 @@ class PipelineEngine {
   BoundedQueue<StagedItem> to_transfer_;
   BoundedQueue<StagedItem> to_kernel_;
   BoundedQueue<BoundaryBatch> to_store_;
+
+  // Kernel-thread-only: one fingerprint session per live stream.
+  std::unordered_map<std::uint32_t, std::unique_ptr<FingerprintSession>>
+      fp_sessions_;
 
   std::exception_ptr error_;
   std::mutex error_mutex_;

@@ -34,32 +34,42 @@ Shredder::Shredder(ShredderConfig config)
   device_ = std::make_unique<gpu::Device>(config_.device, config_.sim_threads);
 }
 
-ShredderResult Shredder::run(DataSource& source,
-                             const ChunkCallback& on_chunk) {
+ShredderResult Shredder::run(DataSource& source, const ChunkCallback& on_chunk,
+                             const DigestCallback& on_digest) {
   const Stopwatch wall;
   ShredderResult result;
   const std::size_t carry_bytes = config_.chunker.window - 1;
   const bool pipelined = config_.mode != GpuMode::kBasic;
+  const bool fingerprint = config_.fingerprint_on_device;
 
   PipelineEngineConfig engine_cfg;
   engine_cfg.mode = config_.mode;
   engine_cfg.slot_bytes = config_.buffer_bytes + carry_bytes;
   engine_cfg.ring_slots = config_.ring_slots;
   engine_cfg.kernel = config_.kernel;
+  engine_cfg.fingerprint = fingerprint;
   PipelineEngine engine(engine_cfg, *device_, tables_, config_.chunker);
   result.init_seconds = engine.init_seconds();
 
-  // Store-side state: min/max filter upcalling the application.
+  // Store-side state: min/max filter upcalling the application. In
+  // fingerprint mode the chunk ends arrive already resolved (the engine runs
+  // the min/max cut on the device side), paired with their digests.
   std::uint64_t last_end = 0;
   std::vector<chunking::Chunk> chunks;
-  chunking::MinMaxFilter filter(
-      config_.chunker.min_size, config_.chunker.max_size,
-      [&](std::uint64_t end) {
-        chunking::Chunk c{last_end, end - last_end};
-        last_end = end;
-        chunks.push_back(c);
-        if (on_chunk) on_chunk(c);
-      });
+  std::vector<dedup::ChunkDigest> digests;
+  // Only the non-fingerprint path resolves chunks host-side; in fingerprint
+  // mode the engine is the sole chunk-emission mechanism, so don't even
+  // construct the filter.
+  std::optional<chunking::MinMaxFilter> filter;
+  if (!fingerprint) {
+    filter.emplace(config_.chunker.min_size, config_.chunker.max_size,
+                   [&](std::uint64_t end) {
+                     chunking::Chunk c{last_end, end - last_end};
+                     last_end = end;
+                     chunks.push_back(c);
+                     if (on_chunk) on_chunk(c);
+                   });
+  }
 
   // --- The pipeline ---
   // Reader runs inside AsyncReader's thread; a feeder thread stages its
@@ -74,6 +84,8 @@ ShredderResult Shredder::run(DataSource& source,
     try {
       AsyncReader reader(source, config_.buffer_bytes, carry_bytes,
                          /*queue_depth=*/pipelined ? config_.ring_slots : 1);
+      std::uint64_t submitted_end = 0;
+      std::uint64_t next_seq = 0;
       while (auto buf = reader.next()) {
         StreamBuffer sb;
         sb.stream_id = 0;
@@ -82,7 +94,18 @@ ShredderResult Shredder::run(DataSource& source,
         sb.base_offset = buf->stream_offset - buf->carry;
         sb.reader_seconds = buf->read_seconds;
         sb.data = std::move(buf->data);
+        submitted_end = sb.base_offset + sb.data.size();
+        next_seq = sb.seq + 1;
         if (!engine.submit(std::move(sb))) return;
+      }
+      if (fingerprint) {
+        // The trailing chunk only closes at end of stream; tell the engine.
+        StreamBuffer eos;
+        eos.stream_id = 0;
+        eos.seq = next_seq;
+        eos.eos = true;
+        eos.base_offset = submitted_end;
+        if (!engine.submit(std::move(eos))) return;
       }
       engine.close();
     } catch (...) {
@@ -95,29 +118,51 @@ ShredderResult Shredder::run(DataSource& source,
   // rethrow from next_batch(); capture it so the feeder thread can be
   // unblocked and joined before the exception propagates.
   std::exception_ptr store_error;
+  // Emits the batch's finalized chunks with their device digests.
+  const auto emit_fingerprinted = [&](const BoundaryBatch& batch) {
+    for_each_fingerprinted_chunk(
+        batch, last_end, [&](const chunking::Chunk& c,
+                             const dedup::ChunkDigest& d) {
+          chunks.push_back(c);
+          digests.push_back(d);
+          if (on_chunk) on_chunk(c);
+          if (on_digest) on_digest(c, d);
+        });
+  };
   try {
   while (auto batch = engine.next_batch()) {
-    // Copy boundaries back (device -> host) and run the min/max filter.
-    batch->stages.store = store_stage_seconds(
-        config_.device, batch->boundaries.size(), pipelined);
-    for (std::uint64_t b : batch->boundaries) filter.push(b);
-    result.raw_boundaries += batch->boundaries.size();
     total_bytes = batch->payload_end;
+    if (batch->eos) {
+      // Fingerprint mode: the stream's trailing chunk closes here. Its
+      // digest still crosses the bus, so account the D2H even though the
+      // eos batch carries no boundaries.
+      if (!batch->digests.empty()) {
+        batch->stages.store = store_stage_seconds(
+            config_.device, 0, pipelined,
+            batch->digests.size() * sizeof(dedup::ChunkDigest));
+        stage_log.push_back(batch->stages);
+      }
+      emit_fingerprinted(*batch);
+      continue;
+    }
+    // Copy boundaries (and digests) back device -> host, then resolve
+    // chunks: min/max filter here, or the engine's pre-cut chunk ends.
+    batch->stages.store = store_stage_seconds(
+        config_.device, batch->boundaries.size(), pipelined,
+        batch->digests.size() * sizeof(dedup::ChunkDigest));
+    if (fingerprint) {
+      emit_fingerprinted(*batch);
+    } else {
+      for (std::uint64_t b : batch->boundaries) filter->push(b);
+    }
+    result.raw_boundaries += batch->boundaries.size();
     ++n_buffers;
     stage_log.push_back(batch->stages);
     // Aggregate kernel statistics across buffers.
-    auto& kt = result.kernel_totals;
-    const auto& ks = batch->kernel_stats;
-    kt.virtual_seconds += ks.virtual_seconds;
-    kt.launch_seconds += ks.launch_seconds;
-    kt.compute_seconds += ks.compute_seconds;
-    kt.memory_seconds += ks.memory_seconds;
-    kt.row_switch_fraction = ks.row_switch_fraction;  // constant per config
-    kt.transactions += ks.transactions;
-    kt.bytes_processed += ks.bytes_processed;
-    kt.bytes_fetched += ks.bytes_fetched;
-    kt.shared_staged_bytes += ks.shared_staged_bytes;
-    kt.wall_seconds += ks.wall_seconds;
+    result.kernel_totals += batch->kernel_stats;
+    if (fingerprint) {
+      result.fingerprint_totals += batch->fingerprint_stats;
+    }
   }
   } catch (...) {
     store_error = std::current_exception();
@@ -127,10 +172,11 @@ ShredderResult Shredder::run(DataSource& source,
   if (store_error) std::rethrow_exception(store_error);
   if (feed_error) std::rethrow_exception(feed_error);
 
-  filter.finish(total_bytes);
+  if (!fingerprint) filter->finish(total_bytes);
 
   // --- Reporting ---
   result.chunks = std::move(chunks);
+  result.digests = std::move(digests);
   result.total_bytes = total_bytes;
   result.n_buffers = n_buffers;
   StageSeconds mean;
@@ -138,6 +184,7 @@ ShredderResult Shredder::run(DataSource& source,
     mean.reader += s.reader;
     mean.transfer += s.transfer;
     mean.kernel += s.kernel;
+    mean.fingerprint += s.fingerprint;
     mean.store += s.store;
     result.serialized_seconds += s.sum();
   }
@@ -146,13 +193,18 @@ ShredderResult Shredder::run(DataSource& source,
     mean.reader /= n;
     mean.transfer /= n;
     mean.kernel /= n;
+    mean.fingerprint /= n;
     mean.store /= n;
   }
   result.mean_stage_seconds = mean;
   if (pipelined) {
+    // Chunk and hash kernels share the one compute engine, so they form a
+    // single pipeline stage: buffer i+1's chunk kernel cannot start while
+    // buffer i's hash kernel holds the engine.
     result.virtual_seconds = gpu::pipeline_makespan(
-        {mean.reader, mean.transfer, mean.kernel, mean.store}, n_buffers,
-        config_.ring_slots);
+        {mean.reader, mean.transfer, mean.kernel + mean.fingerprint,
+         mean.store},
+        n_buffers, config_.ring_slots);
   } else {
     result.virtual_seconds = result.serialized_seconds;
   }
@@ -164,9 +216,10 @@ ShredderResult Shredder::run(DataSource& source,
   return result;
 }
 
-ShredderResult Shredder::run(ByteSpan data, const ChunkCallback& on_chunk) {
+ShredderResult Shredder::run(ByteSpan data, const ChunkCallback& on_chunk,
+                             const DigestCallback& on_digest) {
   MemorySource source(data, config_.host.reader_bw);
-  return run(source, on_chunk);
+  return run(source, on_chunk, on_digest);
 }
 
 HostChunkResult chunk_on_host(ByteSpan data,

@@ -51,12 +51,18 @@ struct ShredderConfig {
   gpu::DeviceSpec device;
   gpu::HostSpec host;
   std::size_t sim_threads = 0;  // host threads simulating the GPU (0 = auto)
+  // Run the on-device fingerprint stage: each chunk is SHA-256-hashed by a
+  // second kernel while its buffer is still resident, and the result carries
+  // one digest per chunk (bit-identical to host dedup::Sha256).
+  bool fingerprint_on_device = false;
 
   void validate() const;
 };
 
 struct ShredderResult {
   std::vector<chunking::Chunk> chunks;
+  // One digest per chunk when fingerprint_on_device is set; empty otherwise.
+  std::vector<dedup::ChunkDigest> digests;
   std::uint64_t total_bytes = 0;
   std::uint64_t n_buffers = 0;
   std::uint64_t raw_boundaries = 0;
@@ -73,6 +79,8 @@ struct ShredderResult {
   double init_seconds = 0;
   // Aggregated kernel statistics over all buffers.
   gpu::KernelRunStats kernel_totals;
+  // Aggregated fingerprint-kernel statistics (fingerprint mode only).
+  gpu::KernelRunStats fingerprint_totals;
   // Real host time spent executing the run.
   double wall_seconds = 0;
 };
@@ -80,17 +88,23 @@ struct ShredderResult {
 class Shredder {
  public:
   using ChunkCallback = std::function<void(const chunking::Chunk&)>;
+  // Invoked per chunk, in stream order, with the device-computed digest;
+  // only fires when fingerprint_on_device is set.
+  using DigestCallback =
+      std::function<void(const chunking::Chunk&, const dedup::ChunkDigest&)>;
 
   // Throws std::invalid_argument on bad configuration.
   explicit Shredder(ShredderConfig config);
 
   // Chunks the whole stream from `source`, invoking `on_chunk` (if set) as
   // chunks become final. Returns the full result.
-  ShredderResult run(DataSource& source, const ChunkCallback& on_chunk = {});
+  ShredderResult run(DataSource& source, const ChunkCallback& on_chunk = {},
+                     const DigestCallback& on_digest = {});
 
   // Convenience: chunk an in-memory buffer served at the host reader
   // bandwidth (the SAN model).
-  ShredderResult run(ByteSpan data, const ChunkCallback& on_chunk = {});
+  ShredderResult run(ByteSpan data, const ChunkCallback& on_chunk = {},
+                     const DigestCallback& on_digest = {});
 
   const ShredderConfig& config() const noexcept { return config_; }
   const rabin::RabinTables& tables() const noexcept { return tables_; }

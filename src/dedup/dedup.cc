@@ -6,14 +6,32 @@ namespace shredder::dedup {
 
 DedupStats Deduplicator::ingest(ByteSpan data,
                                 const std::vector<chunking::Chunk>& chunks) {
+  return ingest_impl(data, chunks, nullptr);
+}
+
+DedupStats Deduplicator::ingest(ByteSpan data,
+                                const std::vector<chunking::Chunk>& chunks,
+                                const std::vector<ChunkDigest>& digests) {
+  if (digests.size() != chunks.size()) {
+    throw std::invalid_argument(
+        "Deduplicator::ingest: digest/chunk count mismatch");
+  }
+  return ingest_impl(data, chunks, &digests);
+}
+
+DedupStats Deduplicator::ingest_impl(
+    ByteSpan data, const std::vector<chunking::Chunk>& chunks,
+    const std::vector<ChunkDigest>* digests) {
   DedupStats stats;
-  for (const auto& c : chunks) {
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const auto& c = chunks[i];
     if (c.end() > data.size()) {
       throw std::invalid_argument("Deduplicator::ingest: chunk out of range");
     }
     const ByteSpan payload = data.subspan(
         static_cast<std::size_t>(c.offset), static_cast<std::size_t>(c.size));
-    const Sha1Digest digest = Sha1::hash(payload);
+    const ChunkDigest digest =
+        digests != nullptr ? (*digests)[i] : ChunkHasher::hash(payload);
     ++stats.chunks_total;
     stats.bytes_total += c.size;
     const auto existing = index_.lookup_or_insert(

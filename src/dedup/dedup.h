@@ -1,6 +1,7 @@
 // Deduplicator: ties the three steps of duplicate identification together
 // (paper §2.1): chunking (done by the caller — Shredder or a baseline
-// chunker), hashing (SHA-1 per chunk) and matching (ChunkIndex + ChunkStore).
+// chunker), hashing (SHA-256 per chunk, or precomputed digests from the GPU
+// fingerprint stage) and matching (ChunkIndex + ChunkStore).
 //
 // Also provides dedup_efficiency(), the measurement used to compare chunking
 // schemes: given two versions of a payload, how many bytes of the second
@@ -12,8 +13,8 @@
 
 #include "chunking/chunk.h"
 #include "common/bytes.h"
+#include "dedup/digest.h"
 #include "dedup/index.h"
-#include "dedup/sha1.h"
 #include "dedup/store.h"
 
 namespace shredder::dedup {
@@ -37,14 +38,26 @@ class Deduplicator {
       : index_(index_probe_seconds) {}
 
   // Ingests `data` pre-split into `chunks`; stores unique chunks, counts
-  // duplicates. Returns the stats for this ingestion only.
+  // duplicates. Returns the stats for this ingestion only. Hashes every
+  // chunk on the host.
   DedupStats ingest(ByteSpan data, const std::vector<chunking::Chunk>& chunks);
+
+  // Same, but with digests precomputed elsewhere (the on-device fingerprint
+  // stage). `digests[i]` must be the canonical hash of `chunks[i]` — the
+  // ChunkStore recheck catches mismatches in debug builds. Throws
+  // std::invalid_argument when the two vectors disagree in length.
+  DedupStats ingest(ByteSpan data, const std::vector<chunking::Chunk>& chunks,
+                    const std::vector<ChunkDigest>& digests);
 
   const ChunkIndex& index() const noexcept { return index_; }
   const ChunkStore& store() const noexcept { return store_; }
   ChunkStore& store() noexcept { return store_; }
 
  private:
+  DedupStats ingest_impl(ByteSpan data,
+                         const std::vector<chunking::Chunk>& chunks,
+                         const std::vector<ChunkDigest>* digests);
+
   ChunkIndex index_;
   ChunkStore store_;
   std::uint64_t next_offset_ = 0;

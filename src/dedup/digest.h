@@ -1,0 +1,18 @@
+// Canonical chunk-fingerprint type of the dedup/backup stack.
+//
+// The index, the content-addressed store, the backup agent and the GPU
+// fingerprint stage all identify chunks by SHA-256 (the digest the on-device
+// hash kernel produces; see docs/fingerprint.md). SHA-1 remains available in
+// dedup/sha1.h for subsystems with their own keying needs (inchdfs memoizes
+// with it) and for the vector tests.
+#pragma once
+
+#include "dedup/sha256.h"
+
+namespace shredder::dedup {
+
+using ChunkDigest = Sha256Digest;
+using ChunkDigestHash = Sha256DigestHash;
+using ChunkHasher = Sha256;
+
+}  // namespace shredder::dedup

@@ -10,12 +10,12 @@ ChunkIndex::ChunkIndex(double probe_seconds) : probe_seconds_(probe_seconds) {
   }
 }
 
-ChunkIndex::Shard& ChunkIndex::shard_for(const Sha1Digest& d) const noexcept {
+ChunkIndex::Shard& ChunkIndex::shard_for(const ChunkDigest& d) const noexcept {
   return shards_[static_cast<std::size_t>(d.prefix64() % kShards)];
 }
 
 std::optional<ChunkLocation> ChunkIndex::lookup_or_insert(
-    const Sha1Digest& digest, const ChunkLocation& loc) {
+    const ChunkDigest& digest, const ChunkLocation& loc) {
   probes_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = shard_for(digest);
   std::lock_guard lock(shard.mutex);
@@ -24,7 +24,7 @@ std::optional<ChunkLocation> ChunkIndex::lookup_or_insert(
   return it->second;
 }
 
-std::optional<ChunkLocation> ChunkIndex::lookup(const Sha1Digest& digest) const {
+std::optional<ChunkLocation> ChunkIndex::lookup(const ChunkDigest& digest) const {
   probes_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = shard_for(digest);
   std::lock_guard lock(shard.mutex);

@@ -1,7 +1,8 @@
 // Chunk fingerprint index — dedup step 3 (paper §2.1): "checking if the hash
 // for a chunk already exists in the index".
 //
-// Sharded hash map keyed by SHA-1 digest; each shard has its own lock so the
+// Sharded hash map keyed by the canonical chunk digest (SHA-256, the hash
+// the GPU fingerprint stage emits); each shard has its own lock so the
 // backup pipeline's lookup thread and store thread can probe concurrently.
 // A per-probe virtual cost models the unoptimized index of §7.3 (the paper
 // notes its index is not ChunkStash/sparse-index grade, and that this is
@@ -15,7 +16,7 @@
 #include <optional>
 #include <unordered_map>
 
-#include "dedup/sha1.h"
+#include "dedup/digest.h"
 
 namespace shredder::dedup {
 
@@ -32,11 +33,11 @@ class ChunkIndex {
   // Returns the existing location if present; otherwise inserts `loc` and
   // returns nullopt. This is the single atomic lookup-or-insert the backup
   // server issues per chunk.
-  std::optional<ChunkLocation> lookup_or_insert(const Sha1Digest& digest,
+  std::optional<ChunkLocation> lookup_or_insert(const ChunkDigest& digest,
                                                 const ChunkLocation& loc);
 
   // Read-only probe.
-  std::optional<ChunkLocation> lookup(const Sha1Digest& digest) const;
+  std::optional<ChunkLocation> lookup(const ChunkDigest& digest) const;
 
   std::uint64_t size() const;
   std::uint64_t probes() const noexcept { return probes_.load(); }
@@ -50,9 +51,9 @@ class ChunkIndex {
   static constexpr std::size_t kShards = 64;
   struct Shard {
     mutable std::mutex mutex;
-    std::unordered_map<Sha1Digest, ChunkLocation, Sha1DigestHash> map;
+    std::unordered_map<ChunkDigest, ChunkLocation, ChunkDigestHash> map;
   };
-  Shard& shard_for(const Sha1Digest& d) const noexcept;
+  Shard& shard_for(const ChunkDigest& d) const noexcept;
 
   double probe_seconds_;
   mutable std::array<Shard, kShards> shards_;

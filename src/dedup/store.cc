@@ -4,9 +4,12 @@
 
 namespace shredder::dedup {
 
-PutOutcome ChunkStore::put(const Sha1Digest& digest, ByteSpan data) {
+PutOutcome ChunkStore::put(const ChunkDigest& digest, ByteSpan data) {
 #ifndef NDEBUG
-  SHREDDER_CHECK_MSG(Sha1::hash(data) == digest,
+  // Debug-mode recheck: callers increasingly hand us digests computed
+  // elsewhere (the GPU fingerprint stage); this catches any drift between
+  // the device hash and the canonical host hash.
+  SHREDDER_CHECK_MSG(ChunkHasher::hash(data) == digest,
                      "ChunkStore::put digest mismatch");
 #endif
   std::lock_guard lock(mutex_);
@@ -21,19 +24,19 @@ PutOutcome ChunkStore::put(const Sha1Digest& digest, ByteSpan data) {
   return PutOutcome::kInserted;
 }
 
-std::optional<ByteVec> ChunkStore::get(const Sha1Digest& digest) const {
+std::optional<ByteVec> ChunkStore::get(const ChunkDigest& digest) const {
   std::lock_guard lock(mutex_);
   const auto it = chunks_.find(digest);
   if (it == chunks_.end()) return std::nullopt;
   return it->second.data;
 }
 
-bool ChunkStore::contains(const Sha1Digest& digest) const {
+bool ChunkStore::contains(const ChunkDigest& digest) const {
   std::lock_guard lock(mutex_);
   return chunks_.contains(digest);
 }
 
-bool ChunkStore::add_ref(const Sha1Digest& digest) {
+bool ChunkStore::add_ref(const ChunkDigest& digest) {
   std::lock_guard lock(mutex_);
   const auto it = chunks_.find(digest);
   if (it == chunks_.end()) return false;
@@ -42,7 +45,7 @@ bool ChunkStore::add_ref(const Sha1Digest& digest) {
   return true;
 }
 
-std::optional<std::uint64_t> ChunkStore::release_ref(const Sha1Digest& digest) {
+std::optional<std::uint64_t> ChunkStore::release_ref(const ChunkDigest& digest) {
   std::lock_guard lock(mutex_);
   const auto it = chunks_.find(digest);
   if (it == chunks_.end()) return std::nullopt;
@@ -56,7 +59,7 @@ std::optional<std::uint64_t> ChunkStore::release_ref(const Sha1Digest& digest) {
   return remaining;
 }
 
-bool ChunkStore::erase(const Sha1Digest& digest) {
+bool ChunkStore::erase(const ChunkDigest& digest) {
   std::lock_guard lock(mutex_);
   const auto it = chunks_.find(digest);
   if (it == chunks_.end()) return false;

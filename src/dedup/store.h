@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "common/bytes.h"
-#include "dedup/sha1.h"
+#include "dedup/digest.h"
 
 namespace shredder::dedup {
 
@@ -25,26 +25,27 @@ class ChunkStore {
 
   // Inserts a chunk with one reference, or — if the digest already exists —
   // adds a reference to the stored copy, reported explicitly via the
-  // outcome. The digest must be the SHA-1 of `data` — checked in debug
-  // builds.
-  PutOutcome put(const Sha1Digest& digest, ByteSpan data);
+  // outcome. The digest must be the canonical chunk hash (SHA-256) of
+  // `data` — checked in debug builds, including digests precomputed on the
+  // device by the fingerprint stage.
+  PutOutcome put(const ChunkDigest& digest, ByteSpan data);
 
   // Copy of the chunk payload, or nullopt if unknown.
-  std::optional<ByteVec> get(const Sha1Digest& digest) const;
+  std::optional<ByteVec> get(const ChunkDigest& digest) const;
 
-  bool contains(const Sha1Digest& digest) const;
+  bool contains(const ChunkDigest& digest) const;
 
   // Adds a reference to an existing chunk. Returns false if unknown.
-  bool add_ref(const Sha1Digest& digest);
+  bool add_ref(const ChunkDigest& digest);
 
   // Drops one reference (a tenant deleted a snapshot that used this chunk);
   // the chunk is reclaimed when its last reference goes. Returns the
   // remaining reference count, or nullopt if the digest is unknown.
-  std::optional<std::uint64_t> release_ref(const Sha1Digest& digest);
+  std::optional<std::uint64_t> release_ref(const ChunkDigest& digest);
 
   // Removes a chunk outright regardless of its reference count (offline
   // garbage collection / forced eviction). Returns false if unknown.
-  bool erase(const Sha1Digest& digest);
+  bool erase(const ChunkDigest& digest);
 
   std::uint64_t unique_chunks() const;
   std::uint64_t unique_bytes() const;
@@ -56,7 +57,7 @@ class ChunkStore {
     std::uint64_t refs = 1;
   };
   mutable std::mutex mutex_;
-  std::unordered_map<Sha1Digest, Entry, Sha1DigestHash> chunks_;
+  std::unordered_map<ChunkDigest, Entry, ChunkDigestHash> chunks_;
   std::uint64_t unique_bytes_ = 0;
   std::uint64_t total_refs_ = 0;
 };

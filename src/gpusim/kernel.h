@@ -53,6 +53,23 @@ struct KernelRunStats {
   std::uint64_t bytes_fetched = 0;  // full DRAM bursts
   std::uint64_t shared_staged_bytes = 0;
   double wall_seconds = 0;      // real host time spent simulating
+
+  // Aggregates per-launch stats across buffers. Times/counters add;
+  // row_switch_fraction is constant for a fixed launch configuration, so
+  // the latest value stands.
+  KernelRunStats& operator+=(const KernelRunStats& o) noexcept {
+    virtual_seconds += o.virtual_seconds;
+    launch_seconds += o.launch_seconds;
+    compute_seconds += o.compute_seconds;
+    memory_seconds += o.memory_seconds;
+    row_switch_fraction = o.row_switch_fraction;
+    transactions += o.transactions;
+    bytes_processed += o.bytes_processed;
+    bytes_fetched += o.bytes_fetched;
+    shared_staged_bytes += o.shared_staged_bytes;
+    wall_seconds += o.wall_seconds;
+    return *this;
+  }
 };
 
 // Accumulators shared by all blocks of one launch.

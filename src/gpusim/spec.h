@@ -45,6 +45,16 @@ struct DeviceSpec {
   // Half-warp cooperative fetch: 16 threads x 8 B = one 128 B transaction.
   std::uint64_t coalesced_txn_bytes = 128;
 
+  // --- Fingerprint (SHA-256) kernel, second storage primitive offloaded to
+  // the device (Al-Kiswany et al., "GPUs as Storage System Accelerators") ---
+  // SHA-256 compression on a scalar SP: 64 rounds of 32-bit ALU work per
+  // 64-byte block. ~100 cycles/byte puts the 448-SP aggregate near 5 GB/s,
+  // in the range Fermi-era GPU hashing studies report.
+  double sha256_cycles_per_byte = 100.0;
+  // Fixed per-chunk cost (schedule + padding + final digest round + output
+  // write) of hashing one chunk inside the fingerprint kernel.
+  double sha256_per_chunk_s = 0.3e-6;
+
   // --- PCIe / DMA (Table 1, Fig 3) ---
   double h2d_pinned_bw = 5.406e9;
   double d2h_pinned_bw = 5.129e9;

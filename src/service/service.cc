@@ -39,6 +39,7 @@ ChunkingService::ChunkingService(ServiceConfig config)
   engine_cfg.slot_bytes = config_.buffer_bytes + config_.chunker.window - 1;
   engine_cfg.ring_slots = config_.ring_slots;
   engine_cfg.kernel = config_.kernel;
+  engine_cfg.fingerprint = config_.fingerprint_on_device;
   engine_ = std::make_unique<core::PipelineEngine>(engine_cfg, *device_,
                                                    tables_, config_.chunker);
   aggregate_.init_seconds = engine_->init_seconds();
@@ -217,6 +218,7 @@ TenantResult ChunkingService::wait(StreamId id) {
   TenantResult result;
   result.report = std::move(s->report);
   result.chunks = std::move(s->chunks);
+  result.digests = std::move(s->digests);
   sessions_.erase(it);
   --open_sessions_;
   return result;
@@ -334,16 +336,48 @@ void ChunkingService::store_loop() {
                            "ChunkingService: batch for unknown session");
         s = it->second.get();
       }
+      // Fingerprint mode: chunk ends arrive resolved, paired with device
+      // digests — emit them directly instead of running the host filter.
+      const auto emit_fingerprinted = [&] {
+        core::for_each_fingerprinted_chunk(
+            *batch, s->last_end,
+            [&](const chunking::Chunk& c, const dedup::ChunkDigest& d) {
+              s->chunks.push_back(c);
+              s->digests.push_back(d);
+              if (s->opts.on_chunk) s->opts.on_chunk(c);
+              if (s->opts.on_digest) s->opts.on_digest(c, d);
+            });
+      };
       if (batch->eos) {
+        // The trailing chunk's digest still crosses the bus: extend the
+        // tenant's timeline with its D2H before closing the session.
+        if (!batch->digests.empty() &&
+            s->tl_base != static_cast<std::size_t>(-1)) {
+          const double d2h = core::store_stage_seconds(
+              config_.device, 0, engine_->pipelined(),
+              batch->digests.size() * sizeof(dedup::ChunkDigest));
+          s->last_finish_v = timeline_.enqueue(
+              s->tl_base + static_cast<std::size_t>(batch->seq % 2),
+              gpu::EngineKind::kCopyD2H, d2h);
+          s->report.stage_totals.store += d2h;
+        }
+        emit_fingerprinted();  // the stream's trailing chunk closes here
         finalize_session(*s, batch->payload_end);
         continue;
       }
       batch->stages.store = core::store_stage_seconds(
-          config_.device, batch->boundaries.size(), engine_->pipelined());
-      for (std::uint64_t b : batch->boundaries) s->filter->push(b);
+          config_.device, batch->boundaries.size(), engine_->pipelined(),
+          batch->digests.size() * sizeof(dedup::ChunkDigest));
+      if (config_.fingerprint_on_device) {
+        emit_fingerprinted();
+      } else {
+        for (std::uint64_t b : batch->boundaries) s->filter->push(b);
+      }
 
       // Virtual-time composition: the tenant's twin timeline streams model
-      // per-stream double buffering; the three engines are shared.
+      // per-stream double buffering; the three engines are shared. The hash
+      // kernel is a second compute-engine op right after the chunk kernel —
+      // it overlaps the next buffer's H2D exactly like compute always has.
       if (s->tl_base == static_cast<std::size_t>(-1)) {
         s->tl_base = timeline_.add_stream();
         timeline_.add_stream();
@@ -359,6 +393,10 @@ void ChunkingService::store_loop() {
       }
       timeline_.enqueue(tl_stream, gpu::EngineKind::kCompute,
                         batch->stages.kernel);
+      if (batch->stages.fingerprint > 0) {
+        timeline_.enqueue(tl_stream, gpu::EngineKind::kCompute,
+                          batch->stages.fingerprint);
+      }
       s->last_finish_v = timeline_.enqueue(
           tl_stream, gpu::EngineKind::kCopyD2H, batch->stages.store);
 
@@ -368,6 +406,7 @@ void ChunkingService::store_loop() {
       r.stage_totals.reader += batch->stages.reader;
       r.stage_totals.transfer += batch->stages.transfer;
       r.stage_totals.kernel += batch->stages.kernel;
+      r.stage_totals.fingerprint += batch->stages.fingerprint;
       r.stage_totals.store += batch->stages.store;
       {
         std::lock_guard lock(mu_);
@@ -389,7 +428,13 @@ void ChunkingService::store_loop() {
 }
 
 void ChunkingService::finalize_session(Session& s, std::uint64_t total_bytes) {
-  s.filter->finish(total_bytes);
+  if (config_.fingerprint_on_device) {
+    // The engine's device-side cutter already closed the trailing chunk.
+    SHREDDER_CHECK_MSG(s.last_end == total_bytes,
+                       "fingerprint session ended short of the stream total");
+  } else {
+    s.filter->finish(total_bytes);
+  }
   auto& r = s.report;
   r.total_bytes = total_bytes;
   r.n_chunks = s.chunks.size();

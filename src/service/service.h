@@ -18,7 +18,10 @@
 // Per-tenant session state (Rabin carry across buffers, min/max filter,
 // sequence numbers) keeps every stream's output bit-identical to a dedicated
 // core::Shredder::run over the same bytes — the service equivalence suite in
-// tests/service_test.cc asserts exactly that.
+// tests/service_test.cc asserts exactly that. With fingerprint_on_device the
+// engine also SHA-256-hashes every chunk on the device and tenants receive
+// chunk+digest pairs (tests/fingerprint_test.cc holds the digests
+// bit-identical to host dedup::Sha256).
 //
 // Virtual-time model: every tenant gets a twin pair of GpuTimeline streams
 // (double buffering); H2D/compute/D2H ops of all tenants compete for the
@@ -65,17 +68,25 @@ struct ServiceConfig {
   std::size_t sim_threads = 0;     // host threads simulating the GPU
   std::size_t max_tenants = 64;    // concurrent session cap (admission)
   std::size_t tenant_queue_depth = 4;  // per-tenant buffers awaiting dispatch
+  // Run the engine's on-device fingerprint stage for every tenant: chunks
+  // arrive with device-computed SHA-256 digests (bit-identical to host
+  // dedup::Sha256), delivered via TenantOptions::on_digest and
+  // TenantResult::digests.
+  bool fingerprint_on_device = false;
 
   void validate() const;
 };
 
 using ChunkCallback = std::function<void(const chunking::Chunk&)>;
+using DigestCallback =
+    std::function<void(const chunking::Chunk&, const dedup::ChunkDigest&)>;
 
 struct TenantOptions {
   std::string name;          // label for reports; defaults to "tenant-<id>"
   std::uint32_t weight = 1;  // weighted-fair share of device dispatches
   double channel_bw = 0;     // modelled client channel, B/s; 0 = reader_bw
   ChunkCallback on_chunk;    // invoked on the store thread, in stream order
+  DigestCallback on_digest;  // per-chunk digest upcall (fingerprint mode)
 };
 
 // Per-tenant statistics, final after the session completes.
@@ -102,6 +113,8 @@ struct TenantReport {
 struct TenantResult {
   TenantReport report;
   std::vector<chunking::Chunk> chunks;  // the stream's final chunking
+  // One device digest per chunk when the service fingerprints on-device.
+  std::vector<dedup::ChunkDigest> digests;
 };
 
 // Aggregate service report, produced by shutdown().
@@ -192,6 +205,7 @@ class ChunkingService {
     std::unique_ptr<chunking::MinMaxFilter> filter;
     std::uint64_t last_end = 0;
     std::vector<chunking::Chunk> chunks;
+    std::vector<dedup::ChunkDigest> digests;  // fingerprint mode, 1:1 chunks
     TenantReport report;
     double ready_v = 0;         // cumulative modelled client-produce time
     double first_start_v = 0;   // start of the first H2D on the timeline

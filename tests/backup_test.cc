@@ -127,10 +127,10 @@ TEST(BackupAgent, StoresAndRecreates) {
   agent.begin_image("img");
   const auto a = random_bytes(100, 1);
   const auto b = random_bytes(50, 2);
-  agent.receive("img", {dedup::Sha1::hash(as_bytes(a)), a});
-  agent.receive("img", {dedup::Sha1::hash(as_bytes(b)), b});
+  agent.receive("img", {dedup::ChunkHasher::hash(as_bytes(a)), a});
+  agent.receive("img", {dedup::ChunkHasher::hash(as_bytes(b)), b});
   // Duplicate chunk as pointer.
-  agent.receive("img", {dedup::Sha1::hash(as_bytes(a)), {}});
+  agent.receive("img", {dedup::ChunkHasher::hash(as_bytes(a)), {}});
   const auto out = agent.recreate("img");
   ByteVec expect(a);
   expect.insert(expect.end(), b.begin(), b.end());
@@ -143,7 +143,7 @@ TEST(BackupAgent, PointerToUnknownChunkThrows) {
   BackupAgent agent;
   agent.begin_image("img");
   EXPECT_THROW(
-      agent.receive("img", {dedup::Sha1::hash(as_bytes(random_bytes(8, 3))), {}}),
+      agent.receive("img", {dedup::ChunkHasher::hash(as_bytes(random_bytes(8, 3))), {}}),
       std::invalid_argument);
 }
 
@@ -151,7 +151,7 @@ TEST(BackupAgent, UnknownImageThrows) {
   BackupAgent agent;
   EXPECT_THROW(agent.recreate("nope"), std::invalid_argument);
   const auto a = random_bytes(8, 4);
-  EXPECT_THROW(agent.receive("nope", {dedup::Sha1::hash(as_bytes(a)), a}),
+  EXPECT_THROW(agent.receive("nope", {dedup::ChunkHasher::hash(as_bytes(a)), a}),
                std::invalid_argument);
 }
 

@@ -111,6 +111,23 @@ TEST(Summary, BasicMoments) {
   EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
 }
 
+TEST(Summary, StddevStableUnderLargeMean) {
+  // Welford regression: with sum_sq - sum^2/n the 1e18-scale squares cancel
+  // catastrophically and the old code returned 0 (or garbage) here.
+  Summary s;
+  for (double x : {1e9 + 0.0, 1e9 + 1.0, 1e9 + 2.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 1e9 + 1.0);
+  EXPECT_NEAR(s.stddev(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 1e9);
+  EXPECT_DOUBLE_EQ(s.max(), 1e9 + 2.0);
+}
+
+TEST(Summary, StddevZeroForConstantLargeValues) {
+  Summary s;
+  for (int i = 0; i < 5; ++i) s.add(1e12);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
 TEST(Histogram, BucketsAndQuantiles) {
   Histogram h({10, 20, 30});
   for (int i = 1; i <= 30; ++i) h.add(i);
@@ -126,6 +143,22 @@ TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram({3, 2, 1}), std::invalid_argument);
 }
 
+TEST(Histogram, OverflowBucketQuantileClampsToLastBound) {
+  // All mass lands past the last bound: the overflow bucket has no upper
+  // edge, so quantiles must clamp to the bound instead of interpolating
+  // into an invented 2x edge.
+  Histogram h({10, 20, 30});
+  for (int i = 0; i < 7; ++i) h.add(1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 30.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 30.0);
+  // Mixed mass: quantiles inside real buckets still interpolate.
+  Histogram m({10, 20});
+  m.add(5.0);
+  m.add(500.0);
+  EXPECT_LE(m.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(m.quantile(1.0), 20.0);
+}
+
 TEST(TablePrinter, FormatsRows) {
   TablePrinter t({"a", "b"});
   t.add_row({"1", "2"});
@@ -133,6 +166,29 @@ TEST(TablePrinter, FormatsRows) {
   EXPECT_NE(s.find('a'), std::string::npos);
   EXPECT_NE(s.find('1'), std::string::npos);
   EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, OversizedCellDoesNotShiftLaterColumns) {
+  TablePrinter t({"col0", "col1", "col2"}, 8);
+  t.add_row({"wider-cell", "x", "y"});  // 10 chars overflow the 8-wide col0
+  t.add_row({"ok", "p", "q"});
+  const auto s = t.to_string();
+  // Find the two data lines.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const auto nl = s.find('\n', pos);
+    lines.push_back(s.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_GE(lines.size(), 4u);
+  const std::string& wide = lines[2];
+  const std::string& normal = lines[3];
+  // col2 realigns to the 2*8 grid position in both rows: "y" lands at the
+  // same column as "q" even though col0 overflowed in the row above.
+  EXPECT_EQ(wide.find('y'), normal.find('q'));
+  // The overflowing cell still keeps at least one space before col1.
+  EXPECT_NE(wide.find("wider-cell x"), std::string::npos);
 }
 
 TEST(HumanBytes, Formats) {

@@ -117,7 +117,7 @@ TEST(Sha256, IncrementalMatchesOneShot) {
 
 TEST(ChunkIndex, LookupOrInsertSemantics) {
   ChunkIndex index;
-  const auto d = Sha1::hash(str_bytes("chunk-1"));
+  const auto d = ChunkHasher::hash(str_bytes("chunk-1"));
   EXPECT_FALSE(index.lookup_or_insert(d, {0, 100}).has_value());
   const auto existing = index.lookup_or_insert(d, {999, 1});
   ASSERT_TRUE(existing.has_value());
@@ -128,12 +128,12 @@ TEST(ChunkIndex, LookupOrInsertSemantics) {
 
 TEST(ChunkIndex, LookupMiss) {
   ChunkIndex index;
-  EXPECT_FALSE(index.lookup(Sha1::hash(str_bytes("nope"))).has_value());
+  EXPECT_FALSE(index.lookup(ChunkHasher::hash(str_bytes("nope"))).has_value());
 }
 
 TEST(ChunkIndex, ProbeAccountingAndVirtualCost) {
   ChunkIndex index(1e-6);
-  const auto d = Sha1::hash(str_bytes("x"));
+  const auto d = ChunkHasher::hash(str_bytes("x"));
   index.lookup_or_insert(d, {0, 1});
   index.lookup(d);
   index.lookup(d);
@@ -147,7 +147,7 @@ TEST(ChunkIndex, RejectsNegativeProbeCost) {
 
 TEST(ChunkIndex, ConcurrentInsertsExactlyOneWinner) {
   ChunkIndex index;
-  const auto d = Sha1::hash(str_bytes("contested"));
+  const auto d = ChunkHasher::hash(str_bytes("contested"));
   std::atomic<int> inserted{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < 8; ++t) {
@@ -172,8 +172,8 @@ TEST(ChunkStore, ReleaseRefReclaimsOnLastReference) {
   ChunkStore store;
   const auto a = random_bytes(64, 7);
   const auto b = random_bytes(32, 8);
-  const auto da = Sha1::hash(as_bytes(a));
-  const auto db = Sha1::hash(as_bytes(b));
+  const auto da = ChunkHasher::hash(as_bytes(a));
+  const auto db = ChunkHasher::hash(as_bytes(b));
   store.put(da, as_bytes(a));
   store.put(db, as_bytes(b));
   store.add_ref(da);  // a: 2 refs, b: 1 ref
@@ -190,7 +190,7 @@ TEST(ChunkStore, ReleaseRefReclaimsOnLastReference) {
 TEST(ChunkStore, EraseRemovesRegardlessOfRefs) {
   ChunkStore store;
   const auto a = random_bytes(64, 9);
-  const auto da = Sha1::hash(as_bytes(a));
+  const auto da = ChunkHasher::hash(as_bytes(a));
   store.put(da, as_bytes(a));
   store.add_ref(da);
   EXPECT_TRUE(store.erase(da));
@@ -203,7 +203,7 @@ TEST(ChunkStore, EraseRemovesRegardlessOfRefs) {
 TEST(ChunkStore, PutReportsInsertedVsRefAdded) {
   ChunkStore store;
   const auto a = random_bytes(64, 10);
-  const auto da = Sha1::hash(as_bytes(a));
+  const auto da = ChunkHasher::hash(as_bytes(a));
   EXPECT_EQ(store.put(da, as_bytes(a)), PutOutcome::kInserted);
   EXPECT_EQ(store.put(da, as_bytes(a)), PutOutcome::kRefAdded);
   EXPECT_EQ(store.total_refs(), 2u);
@@ -213,7 +213,7 @@ TEST(ChunkStore, PutReportsInsertedVsRefAdded) {
 TEST(ChunkStore, PutGetRoundTrip) {
   ChunkStore store;
   const auto data = random_bytes(1000, 5);
-  const auto d = Sha1::hash(as_bytes(data));
+  const auto d = ChunkHasher::hash(as_bytes(data));
   EXPECT_EQ(store.put(d, as_bytes(data)), PutOutcome::kInserted);
   EXPECT_EQ(store.put(d, as_bytes(data)), PutOutcome::kRefAdded);  // duplicate
   EXPECT_EQ(store.get(d).value(), data);
@@ -224,14 +224,14 @@ TEST(ChunkStore, PutGetRoundTrip) {
 
 TEST(ChunkStore, GetMissing) {
   ChunkStore store;
-  EXPECT_FALSE(store.get(Sha1::hash(str_bytes("missing"))).has_value());
-  EXPECT_FALSE(store.add_ref(Sha1::hash(str_bytes("missing"))));
+  EXPECT_FALSE(store.get(ChunkHasher::hash(str_bytes("missing"))).has_value());
+  EXPECT_FALSE(store.add_ref(ChunkHasher::hash(str_bytes("missing"))));
 }
 
 TEST(ChunkStore, AddRefCounts) {
   ChunkStore store;
   const auto data = random_bytes(10, 6);
-  const auto d = Sha1::hash(as_bytes(data));
+  const auto d = ChunkHasher::hash(as_bytes(data));
   store.put(d, as_bytes(data));
   EXPECT_TRUE(store.add_ref(d));
   EXPECT_EQ(store.total_refs(), 2u);
@@ -309,7 +309,7 @@ TEST(Deduplicator, ReconstructionFromStore) {
   ByteVec reassembled;
   for (const auto& c : chunks) {
     const auto payload = ByteSpan(data).subspan(c.offset, c.size);
-    const auto stored = dedup.store().get(Sha1::hash(payload));
+    const auto stored = dedup.store().get(ChunkHasher::hash(payload));
     ASSERT_TRUE(stored.has_value());
     reassembled.insert(reassembled.end(), stored->begin(), stored->end());
   }

@@ -67,6 +67,57 @@ TEST(MinMax, RejectsMalformedInput) {
   EXPECT_THROW(apply_min_max({}, 100, 50, 20), std::invalid_argument);
 }
 
+TEST(MinMax, RejectsZeroBoundary) {
+  // Regression: prev_raw_ starts at 0, so the old strictness check
+  // `b <= prev_raw_ && prev_raw_ != 0` accepted b == 0 — repeatedly.
+  EXPECT_THROW(apply_min_max({0}, 100, 0, 0), std::invalid_argument);
+  EXPECT_THROW(apply_min_max({0, 0, 0}, 100, 0, 0), std::invalid_argument);
+  std::vector<std::uint64_t> seen;
+  MinMaxFilter filter(0, 0, [&](std::uint64_t e) { seen.push_back(e); });
+  EXPECT_THROW(filter.push(0), std::invalid_argument);
+  EXPECT_TRUE(seen.empty());
+  filter.push(10);  // the filter stays usable after the rejected push
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{10}));
+}
+
+TEST(MinMaxFilter, DrainForcedMatchesDeferredEmission) {
+  // drain_forced(upto) must emit exactly the boundaries a later push/finish
+  // would, just earlier — including the inclusive gap == max_size case.
+  std::vector<std::uint64_t> eager, deferred;
+  {
+    MinMaxFilter f(0, 30, [&](std::uint64_t e) { eager.push_back(e); });
+    f.push(5);
+    f.drain_forced(65);   // emits 35, 65 (65 - 35 == max, inclusive)
+    f.push(100);          // forces 95, then accepts 100
+    f.finish(120);
+  }
+  {
+    MinMaxFilter f(0, 30, [&](std::uint64_t e) { deferred.push_back(e); });
+    f.push(5);
+    f.push(100);
+    f.finish(120);
+  }
+  EXPECT_EQ(eager, deferred);
+  EXPECT_EQ(eager.front(), 5u);
+}
+
+TEST(MinMaxFilter, DrainForcedAtExactTotalMatchesFinish) {
+  // Gap of exactly max at the stream end: drain emits the boundary, finish
+  // must then not duplicate it.
+  std::vector<std::uint64_t> eager, deferred;
+  {
+    MinMaxFilter f(0, 50, [&](std::uint64_t e) { eager.push_back(e); });
+    f.drain_forced(100);  // 50, 100
+    f.finish(100);
+  }
+  {
+    MinMaxFilter f(0, 50, [&](std::uint64_t e) { deferred.push_back(e); });
+    f.finish(100);  // 50, 100
+  }
+  EXPECT_EQ(eager, deferred);
+  EXPECT_EQ(eager, (std::vector<std::uint64_t>{50, 100}));
+}
+
 TEST(MinMaxFilter, StreamingMatchesBatch) {
   SplitMix64 rng(7);
   std::vector<std::uint64_t> raw;
