@@ -72,5 +72,43 @@ int main() {
               "with min 2 KB / max 16 KB, 10 Gb/s generation rate, GPU path "
               "fingerprints on-device; every backup reconstructed and "
               "verified at the backup site)\n");
+
+  // --- Low-similarity sweep: baseline vs ChunkStash-style sparse index ---
+  // §7.3 concedes the index is "not ChunkStash-grade": once hashing moves
+  // on-device, its probes are what erodes bandwidth as similarity drops.
+  // The sparse index (docs/dedup_index.md) takes the probe path back off
+  // the critical path and restores the 10 Gb/s generation bound.
+  std::printf("\nLow-similarity sweep (GPU path, 4 KB chunks): paper-baseline "
+              "index vs ChunkStash-style sparse index\n");
+  TablePrinter t2({"ChangeProb", "BaselineIdx", "SparseIdx", "IdxStage-base",
+                   "IdxStage-sparse", "Verified"},
+                  16);
+  for (const double p : {0.25, 0.50, 0.75}) {
+    auto sparse_config = server_config(ChunkerBackend::kShredderGpu);
+    sparse_config.index.kind = dedup::IndexKind::kSparse;
+    BackupServer baseline(server_config(ChunkerBackend::kShredderGpu));
+    BackupServer sparse(sparse_config);
+    BackupAgent agent_a, agent_b;
+    const auto base = repo.snapshot(0.0, snapshot_id);
+    baseline.backup_image("base", as_bytes(base), repo, agent_a);
+    sparse.backup_image("base", as_bytes(base), repo, agent_b);
+    const auto snap = repo.snapshot(p, snapshot_id + 2000);
+    const auto base_stats =
+        baseline.backup_image("snap", as_bytes(snap), repo, agent_a);
+    const auto sparse_stats =
+        sparse.backup_image("snap", as_bytes(snap), repo, agent_b);
+    snapshot_id += 2;
+    t2.add_row(
+        {TablePrinter::fmt(p, 2),
+         TablePrinter::fmt(base_stats.backup_bandwidth_gbps, 2) + " Gbps",
+         TablePrinter::fmt(sparse_stats.backup_bandwidth_gbps, 2) + " Gbps",
+         TablePrinter::fmt(base_stats.index_seconds * 1e3, 1) + " ms",
+         TablePrinter::fmt(sparse_stats.index_seconds * 1e3, 1) + " ms",
+         base_stats.verified && sparse_stats.verified ? "yes" : "NO"});
+  }
+  t2.print();
+  std::printf("(sparse index: in-RAM cuckoo signatures + log-structured "
+              "entry region + per-stream container prefetch; probes stay off "
+              "the critical path, restoring the generation bound)\n");
   return 0;
 }

@@ -24,8 +24,17 @@
 // breakdown to BENCH_fingerprint.json. The acceptance bar is device-hash
 // >= 1.3x host-hash end-to-end. `--fingerprint_smoke_json[=PATH]` is the
 // small-image variant scripts/ci.sh runs.
+//
+// Fingerprint-index tracking: `microbench --index_json[=PATH]` replays the
+// digest stream of a 4 KB-chunked snapshot pair (base + low-similarity
+// successor) through both index backends and writes the modelled probe-path
+// seconds, flash/cache counters and the sparse-over-baseline speedup to
+// BENCH_index.json. The acceptance bar is sparse >= 3x baseline at the
+// low-similarity operating point (docs/dedup_index.md).
+// `--index_smoke_json[=PATH]` is the small-image variant scripts/ci.sh runs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -504,6 +513,154 @@ int run_fingerprint_json(const std::string& path, bool smoke) {
   return 0;
 }
 
+// --- --index_json mode ------------------------------------------------------
+
+// One backend's replay of (base insert stream, snapshot probe stream).
+struct IndexRun {
+  double snapshot_seconds = 0;  // modelled index time of the snapshot pass
+  double total_seconds = 0;
+  std::uint64_t duplicates = 0;  // snapshot probes answered from the index
+  dedup::IndexStats stats;
+};
+
+int run_index_json(const std::string& path, bool smoke) {
+  using namespace shredder::backup;
+  ImageRepoConfig repo_cfg;
+  repo_cfg.image_bytes = smoke ? (8ull << 20) : (64ull << 20);
+  // Enough similarity segments that a 0.75 change probability reliably
+  // leaves some unchanged (duplicate) runs even at smoke scale.
+  repo_cfg.segment_bytes = smoke ? (256ull << 10) : (1ull << 20);
+  repo_cfg.seed = 77;
+  ImageRepository repo(repo_cfg);
+  // The fig18 operating point that puts the baseline index on the critical
+  // path: 4 KB chunks (fixed-size here — the bench isolates the index, not
+  // the chunker).
+  const std::size_t kChunk = 4096;
+
+  const auto digests_of = [&](const ByteVec& image) {
+    std::vector<dedup::ChunkDigest> out;
+    const ByteSpan data = as_bytes(image);
+    for (std::size_t off = 0; off < data.size(); off += kChunk) {
+      out.push_back(dedup::ChunkHasher::hash(
+          data.subspan(off, std::min(kChunk, data.size() - off))));
+    }
+    return out;
+  };
+  const auto base = digests_of(repo.snapshot(0.0, 1));
+  // Low similarity: three quarters of the segments changed since the base.
+  const auto snap_low = digests_of(repo.snapshot(0.75, 2));
+  const auto snap_high = digests_of(repo.snapshot(0.10, 3));
+
+  const auto replay = [&](dedup::IndexKind kind,
+                          const std::vector<dedup::ChunkDigest>& snap) {
+    dedup::IndexConfig cfg;
+    cfg.kind = kind;
+    // Baseline probe path at the backup server's §7.3 calibration — the
+    // operating point whose erosion the sparse index removes.
+    const BackupCostModel backup_costs;
+    cfg.costs.probe_s = backup_costs.index_probe_s;
+    cfg.costs.insert_s = backup_costs.index_insert_s;
+    auto index = dedup::make_index(cfg);
+    std::uint64_t off = 0;
+    for (const auto& d : base) {
+      index->lookup_or_insert(d, {off, kChunk}, /*stream=*/0);
+      off += kChunk;
+    }
+    const double before = index->virtual_seconds();
+    IndexRun run;
+    for (const auto& d : snap) {
+      if (index->lookup_or_insert(d, {off, kChunk}, /*stream=*/1)
+              .has_value()) {
+        ++run.duplicates;
+      }
+      off += kChunk;
+    }
+    run.stats = index->stats();
+    run.total_seconds = run.stats.virtual_seconds;
+    run.snapshot_seconds = run.total_seconds - before;
+    return run;
+  };
+
+  const auto base_low = replay(dedup::IndexKind::kPaperBaseline, snap_low);
+  const auto sparse_low = replay(dedup::IndexKind::kSparse, snap_low);
+  const auto base_high = replay(dedup::IndexKind::kPaperBaseline, snap_high);
+  const auto sparse_high = replay(dedup::IndexKind::kSparse, snap_high);
+  const double speedup_low =
+      base_low.snapshot_seconds / sparse_low.snapshot_seconds;
+  const double speedup_high =
+      base_high.snapshot_seconds / sparse_high.snapshot_seconds;
+  const double n_probes = static_cast<double>(snap_low.size());
+  if (base_low.duplicates != sparse_low.duplicates ||
+      base_high.duplicates != sparse_high.duplicates ||
+      base_low.duplicates == 0) {
+    std::fprintf(stderr,
+                 "index bench: backend dedup decisions diverged or the "
+                 "workload has no duplicates\n");
+    return 1;
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"image_bytes\": %llu,\n",
+               static_cast<unsigned long long>(repo_cfg.image_bytes));
+  std::fprintf(f, "  \"chunk_bytes\": %zu,\n", kChunk);
+  std::fprintf(f, "  \"snapshot_probes\": %zu,\n", snap_low.size());
+  std::fprintf(f,
+               "  \"low_similarity\": {\"change_probability\": 0.75,\n"
+               "    \"duplicate_probes\": %llu,\n"
+               "    \"baseline_seconds\": %.6f, \"sparse_seconds\": %.6f,\n"
+               "    \"baseline_us_per_probe\": %.3f, "
+               "\"sparse_us_per_probe\": %.3f,\n"
+               "    \"sparse_flash_reads\": %llu, "
+               "\"sparse_cache_hits\": %llu,\n"
+               "    \"speedup_sparse_over_baseline\": %.3f},\n",
+               static_cast<unsigned long long>(sparse_low.duplicates),
+               base_low.snapshot_seconds, sparse_low.snapshot_seconds,
+               base_low.snapshot_seconds / n_probes * 1e6,
+               sparse_low.snapshot_seconds / n_probes * 1e6,
+               static_cast<unsigned long long>(sparse_low.stats.flash_reads),
+               static_cast<unsigned long long>(sparse_low.stats.cache_hits),
+               speedup_low);
+  std::fprintf(f,
+               "  \"high_similarity\": {\"change_probability\": 0.10,\n"
+               "    \"duplicate_probes\": %llu,\n"
+               "    \"baseline_seconds\": %.6f, \"sparse_seconds\": %.6f,\n"
+               "    \"speedup_sparse_over_baseline\": %.3f}\n",
+               static_cast<unsigned long long>(sparse_high.duplicates),
+               base_high.snapshot_seconds, sparse_high.snapshot_seconds,
+               speedup_high);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf("index probe path, %zu probes of a %s image at 4 KB chunks:\n",
+              snap_low.size(), smoke ? "8 MiB" : "64 MiB");
+  std::printf(
+      "  low similarity (p=0.75): baseline %7.2f ms   sparse %7.2f ms "
+      " -> %.1fx (%llu flash reads, %llu cache hits)\n",
+      base_low.snapshot_seconds * 1e3, sparse_low.snapshot_seconds * 1e3,
+      speedup_low,
+      static_cast<unsigned long long>(sparse_low.stats.flash_reads),
+      static_cast<unsigned long long>(sparse_low.stats.cache_hits));
+  std::printf(
+      "  high similarity (p=0.10): baseline %7.2f ms   sparse %7.2f ms "
+      " -> %.1fx\n",
+      base_high.snapshot_seconds * 1e3, sparse_high.snapshot_seconds * 1e3,
+      speedup_high);
+  std::printf("-> %s\n", path.c_str());
+  if (speedup_low < 3.0) {
+    std::fprintf(stderr,
+                 "index bench: sparse speedup %.2fx below the 3x bar at the "
+                 "low-similarity operating point\n",
+                 speedup_low);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -538,6 +695,18 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--fingerprint_smoke_json=", 25) == 0) {
       return run_fingerprint_json(argv[i] + 25, /*smoke=*/true);
+    }
+    if (std::strcmp(argv[i], "--index_json") == 0) {
+      return run_index_json("BENCH_index.json", /*smoke=*/false);
+    }
+    if (std::strncmp(argv[i], "--index_json=", 13) == 0) {
+      return run_index_json(argv[i] + 13, /*smoke=*/false);
+    }
+    if (std::strcmp(argv[i], "--index_smoke_json") == 0) {
+      return run_index_json("BENCH_index_smoke.json", /*smoke=*/true);
+    }
+    if (std::strncmp(argv[i], "--index_smoke_json=", 19) == 0) {
+      return run_index_json(argv[i] + 19, /*smoke=*/true);
     }
   }
   benchmark::Initialize(&argc, argv);

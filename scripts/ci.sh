@@ -29,12 +29,22 @@ else
   echo "microbench not built (google-benchmark missing): skipping fingerprint smoke"
 fi
 
-echo "=== ASan/UBSan build (chunking + fingerprint stack) ==="
+echo "=== sparse fingerprint index smoke (small-image BENCH_index) ==="
+# Enforces the same >=3x sparse-over-baseline bar the committed
+# BENCH_index.json documents at full scale (docs/dedup_index.md).
+if [ -x "$BUILD_DIR/microbench" ]; then
+  "$BUILD_DIR/microbench" --index_smoke_json="$BUILD_DIR/BENCH_index_smoke.json"
+else
+  echo "microbench not built (google-benchmark missing): skipping index smoke"
+fi
+
+echo "=== ASan/UBSan build (chunking + fingerprint + index stack) ==="
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$SAN_DIR" -S . -DSHREDDER_WERROR=ON -DSHREDDER_SANITIZE=ON
 cmake --build "$SAN_DIR" -j "$JOBS" \
-  --target chunking_test rabin_test minmax_test fingerprint_test
+  --target chunking_test rabin_test minmax_test fingerprint_test \
+  index_test dedup_test
 ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS" \
-  -R 'chunking_test|rabin_test|minmax_test|fingerprint_test'
+  -R 'chunking_test|rabin_test|minmax_test|fingerprint_test|index_test|dedup_test'
 
 echo "=== ci OK ==="

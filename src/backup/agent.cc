@@ -4,6 +4,9 @@
 
 namespace shredder::backup {
 
+BackupAgent::BackupAgent(dedup::IndexConfig catalog_config)
+    : catalog_(dedup::make_index(catalog_config)) {}
+
 void BackupAgent::begin_image(const std::string& image_id) {
   auto [it, inserted] = recipes_.try_emplace(image_id);
   if (!inserted) {
@@ -18,12 +21,19 @@ void BackupAgent::receive(const std::string& image_id,
     throw std::invalid_argument("BackupAgent: unknown image: " + image_id);
   }
   if (message.payload.empty()) {
-    if (!store_.add_ref(message.digest)) {
+    // Membership goes through the catalog index (the modelled probe); the
+    // ref-counted store stays the ground truth for the payload bytes.
+    if (!catalog_->lookup(message.digest).has_value() ||
+        !store_.add_ref(message.digest)) {
       throw std::invalid_argument(
           "BackupAgent: pointer to unknown chunk (protocol violation)");
     }
   } else {
     store_.put(message.digest, as_bytes(message.payload));
+    catalog_->lookup_or_insert(
+        message.digest,
+        dedup::ChunkLocation{catalog_offset_, message.payload.size()});
+    catalog_offset_ += message.payload.size();
   }
   it->second.push_back(message.digest);
 }

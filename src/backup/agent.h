@@ -6,17 +6,25 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
 #include "dedup/digest.h"
+#include "dedup/index.h"
 #include "dedup/store.h"
 
 namespace shredder::backup {
 
 class BackupAgent {
  public:
+  // The agent keeps a fingerprint catalog in front of its chunk store — the
+  // same IndexKind knob as the server side, so the backup site's membership
+  // path can be modelled with either the baseline map or the ChunkStash-
+  // style sparse index (docs/dedup_index.md). Results are exact either way;
+  // only the modelled catalog time (catalog_seconds) differs.
+  explicit BackupAgent(dedup::IndexConfig catalog_config = {});
   // One element of the backup stream: a pointer (digest only) or a payload-
   // carrying chunk.
   struct Message {
@@ -37,8 +45,15 @@ class BackupAgent {
   std::uint64_t unique_chunks() const { return store_.unique_chunks(); }
   std::uint64_t unique_bytes() const { return store_.unique_bytes(); }
 
+  // Modelled time the catalog index has consumed answering the server's
+  // chunk/pointer stream.
+  double catalog_seconds() const { return catalog_->virtual_seconds(); }
+  const dedup::IndexBackend& catalog() const noexcept { return *catalog_; }
+
  private:
   dedup::ChunkStore store_;
+  std::unique_ptr<dedup::IndexBackend> catalog_;
+  std::uint64_t catalog_offset_ = 0;
   std::map<std::string, std::vector<dedup::ChunkDigest>> recipes_;
 };
 

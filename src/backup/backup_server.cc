@@ -20,8 +20,14 @@ bool chunker_equal(const chunking::ChunkerConfig& a,
 }  // namespace
 
 BackupServer::BackupServer(BackupServerConfig config)
-    : config_(std::move(config)), index_(config_.costs.index_probe_s) {
+    : config_(std::move(config)) {
   config_.chunker.validate();
+  // The baseline backend's flat probe/insert costs live in BackupCostModel
+  // (§7.3 calibration); copy them into the index config so both knobs agree.
+  dedup::IndexConfig index_cfg = config_.index;
+  index_cfg.costs.probe_s = config_.costs.index_probe_s;
+  index_cfg.costs.insert_s = config_.costs.index_insert_s;
+  index_ = dedup::make_index(index_cfg);
   switch (config_.backend) {
     case ChunkerBackend::kShredderGpu:
       config_.shredder.chunker = config_.chunker;
@@ -110,7 +116,14 @@ BackupRunStats BackupServer::dedup_and_ship(
           ? 0.0
           : static_cast<double>(image.size()) / config_.costs.host_hash_bw;
   agent.begin_image(image_id);
-  std::uint64_t unique_chunks = 0;
+  // The index stage is charged whatever the backend's virtual clock says
+  // this snapshot's probes cost — a flat per-probe/per-insert rate for the
+  // baseline, signature probes + amortized container reads for the sparse
+  // index. Each snapshot probes as its own stream so the sparse backend's
+  // prefetch cache sees backup locality.
+  const std::uint32_t index_stream = next_index_stream_++;
+  const dedup::IndexStats index_before = index_->stats();
+  stats.index_kind = index_->kind();
   for (std::size_t i = 0; i < chunks.size(); ++i) {
     const auto& c = chunks[i];
     const ByteSpan payload = image.subspan(
@@ -118,15 +131,15 @@ BackupRunStats BackupServer::dedup_and_ship(
     const auto digest = stats.device_fingerprint
                             ? digests[i]
                             : dedup::ChunkHasher::hash(payload);
-    const auto existing = index_.lookup_or_insert(
-        digest, dedup::ChunkLocation{next_store_offset_, c.size});
+    const auto existing = index_->lookup_or_insert(
+        digest, dedup::ChunkLocation{next_store_offset_, c.size},
+        index_stream);
     BackupAgent::Message msg;
     msg.digest = digest;
     if (existing.has_value()) {
       ++stats.duplicate_chunks;
       // Pointer only: payload stays empty.
     } else {
-      ++unique_chunks;
       stats.unique_bytes += c.size;
       next_store_offset_ += c.size;
       msg.payload.assign(payload.begin(), payload.end());
@@ -134,10 +147,14 @@ BackupRunStats BackupServer::dedup_and_ship(
     agent.receive(image_id, msg);
   }
 
-  stats.index_transfer_seconds =
-      static_cast<double>(stats.chunks) * config_.costs.index_probe_s +
-      static_cast<double>(unique_chunks) * config_.costs.index_insert_s +
+  const dedup::IndexStats index_after = index_->stats();
+  stats.index_seconds = index_after.virtual_seconds -
+                        index_before.virtual_seconds;
+  stats.index_flash_reads = index_after.flash_reads - index_before.flash_reads;
+  stats.index_cache_hits = index_after.cache_hits - index_before.cache_hits;
+  stats.link_seconds =
       static_cast<double>(stats.unique_bytes) / config_.costs.link_bw;
+  stats.index_transfer_seconds = stats.index_seconds + stats.link_seconds;
 
   // --- Steady-state pipelined bandwidth: slowest stage wins ---
   stats.virtual_seconds =

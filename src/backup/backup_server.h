@@ -50,6 +50,13 @@ struct BackupCostModel {
 
 struct BackupServerConfig {
   ChunkerBackend backend = ChunkerBackend::kShredderGpu;
+  // Fingerprint-index backend (docs/dedup_index.md): the paper-faithful
+  // sharded map, or the ChunkStash-style sparse index that takes the probe
+  // path off the critical path at small chunk sizes / low similarity.
+  // Baseline probe/insert costs are taken from `costs` below so the fig18
+  // calibration stays in one place; the sparse cost constants come from
+  // `index.costs`.
+  dedup::IndexConfig index;
   chunking::ChunkerConfig chunker{
       .window = 48,
       .mask_bits = 12,        // ~4 KB expected chunks
@@ -83,8 +90,16 @@ struct BackupRunStats {
   double generation_seconds = 0;
   double chunking_seconds = 0;
   double hashing_seconds = 0;
-  double index_transfer_seconds = 0;
+  double index_seconds = 0;           // modelled index time this snapshot
+  double link_seconds = 0;            // unique bytes over the backup link
+  double index_transfer_seconds = 0;  // index_seconds + link_seconds
   bool device_fingerprint = false;
+
+  // Index-backend telemetry for this snapshot (deltas; sparse backend only
+  // moves the flash/cache counters).
+  dedup::IndexKind index_kind = dedup::IndexKind::kPaperBaseline;
+  std::uint64_t index_flash_reads = 0;
+  std::uint64_t index_cache_hits = 0;
 
   // Steady-state pipelined time = slowest stage; and the headline number.
   double virtual_seconds = 0;
@@ -117,7 +132,7 @@ class BackupServer {
                                             const ImageRepository& repo,
                                             BackupAgent& agent);
 
-  const dedup::ChunkIndex& index() const noexcept { return index_; }
+  const dedup::IndexBackend& index() const noexcept { return *index_; }
   const BackupServerConfig& config() const noexcept { return config_; }
 
  private:
@@ -136,11 +151,14 @@ class BackupServer {
                                 double chunking_seconds, BackupAgent& agent);
 
   BackupServerConfig config_;
-  dedup::ChunkIndex index_;
+  std::unique_ptr<dedup::IndexBackend> index_;
   std::unique_ptr<core::Shredder> shredder_;        // GPU backend
   std::unique_ptr<rabin::RabinTables> cpu_tables_;  // CPU backend
   std::unique_ptr<chunking::ParallelChunker> cpu_chunker_;
   std::uint64_t next_store_offset_ = 0;
+  // Each snapshot probes the index as its own stream: the sparse backend's
+  // container prefetch cache is per-stream, matching backup locality.
+  std::uint32_t next_index_stream_ = 0;
 };
 
 }  // namespace shredder::backup

@@ -108,10 +108,11 @@ struct BoundaryBatch {
   std::uint64_t payload_end = 0;  // absolute end offset covered so far
 };
 
-// Modelled Store-stage seconds for one batch: DMA of the boundary array
-// back to the host, the digest-array DMA when the fingerprint stage ran
-// (digest_bytes = sizeof(ChunkDigest) * n_digests), plus per-boundary
-// filter handling.
+// Modelled Store-stage seconds for one batch: one D2H DMA descriptor
+// carrying the boundary array AND the digest array when the fingerprint
+// stage ran (digest_bytes = sizeof(ChunkDigest) * n_digests; the two arrays
+// are contiguous in the device result region, so a single transfer per
+// buffer brings both back), plus per-boundary filter handling.
 double store_stage_seconds(const gpu::DeviceSpec& spec,
                            std::size_t n_boundaries, bool pinned,
                            std::size_t digest_bytes = 0) noexcept;

@@ -4,6 +4,12 @@
 
 namespace shredder::dedup {
 
+Deduplicator::Deduplicator(double index_probe_seconds)
+    : index_(std::make_unique<ChunkIndex>(index_probe_seconds)) {}
+
+Deduplicator::Deduplicator(const IndexConfig& index_config)
+    : index_(make_index(index_config)) {}
+
 DedupStats Deduplicator::ingest(ByteSpan data,
                                 const std::vector<chunking::Chunk>& chunks) {
   return ingest_impl(data, chunks, nullptr);
@@ -34,7 +40,7 @@ DedupStats Deduplicator::ingest_impl(
         digests != nullptr ? (*digests)[i] : ChunkHasher::hash(payload);
     ++stats.chunks_total;
     stats.bytes_total += c.size;
-    const auto existing = index_.lookup_or_insert(
+    const auto existing = index_->lookup_or_insert(
         digest, ChunkLocation{next_offset_, c.size});
     if (existing.has_value()) {
       ++stats.chunks_duplicate;

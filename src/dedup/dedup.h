@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "chunking/chunk.h"
@@ -34,8 +35,11 @@ struct DedupStats {
 
 class Deduplicator {
  public:
-  explicit Deduplicator(double index_probe_seconds = 0.8e-6)
-      : index_(index_probe_seconds) {}
+  // Baseline index with a flat per-probe cost (the historical default).
+  explicit Deduplicator(double index_probe_seconds = 0.8e-6);
+  // Full backend selection: kPaperBaseline or the ChunkStash-style kSparse
+  // index (docs/dedup_index.md).
+  explicit Deduplicator(const IndexConfig& index_config);
 
   // Ingests `data` pre-split into `chunks`; stores unique chunks, counts
   // duplicates. Returns the stats for this ingestion only. Hashes every
@@ -49,7 +53,7 @@ class Deduplicator {
   DedupStats ingest(ByteSpan data, const std::vector<chunking::Chunk>& chunks,
                     const std::vector<ChunkDigest>& digests);
 
-  const ChunkIndex& index() const noexcept { return index_; }
+  const IndexBackend& index() const noexcept { return *index_; }
   const ChunkStore& store() const noexcept { return store_; }
   ChunkStore& store() noexcept { return store_; }
 
@@ -58,7 +62,7 @@ class Deduplicator {
                          const std::vector<chunking::Chunk>& chunks,
                          const std::vector<ChunkDigest>* digests);
 
-  ChunkIndex index_;
+  std::unique_ptr<IndexBackend> index_;
   ChunkStore store_;
   std::uint64_t next_offset_ = 0;
 };

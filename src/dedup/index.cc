@@ -2,11 +2,25 @@
 
 #include <stdexcept>
 
+#include "dedup/sparse_index.h"
+
 namespace shredder::dedup {
 
-ChunkIndex::ChunkIndex(double probe_seconds) : probe_seconds_(probe_seconds) {
-  if (probe_seconds < 0) {
-    throw std::invalid_argument("ChunkIndex: negative probe cost");
+std::unique_ptr<IndexBackend> make_index(const IndexConfig& config) {
+  switch (config.kind) {
+    case IndexKind::kPaperBaseline:
+      return std::make_unique<ChunkIndex>(config.costs.probe_s,
+                                          config.costs.insert_s);
+    case IndexKind::kSparse:
+      return std::make_unique<SparseChunkIndex>(config);
+  }
+  throw std::invalid_argument("make_index: unknown IndexKind");
+}
+
+ChunkIndex::ChunkIndex(double probe_seconds, double insert_seconds)
+    : probe_seconds_(probe_seconds), insert_seconds_(insert_seconds) {
+  if (probe_seconds < 0 || insert_seconds < 0) {
+    throw std::invalid_argument("ChunkIndex: negative probe/insert cost");
   }
 }
 
@@ -14,17 +28,22 @@ ChunkIndex::Shard& ChunkIndex::shard_for(const ChunkDigest& d) const noexcept {
   return shards_[static_cast<std::size_t>(d.prefix64() % kShards)];
 }
 
-std::optional<ChunkLocation> ChunkIndex::lookup_or_insert(
-    const ChunkDigest& digest, const ChunkLocation& loc) {
+std::optional<ChunkLocation> ChunkIndex::do_lookup_or_insert(
+    const ChunkDigest& digest, const ChunkLocation& loc,
+    std::uint32_t /*stream*/) {
   probes_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = shard_for(digest);
   std::lock_guard lock(shard.mutex);
   auto [it, inserted] = shard.map.try_emplace(digest, loc);
-  if (inserted) return std::nullopt;
+  if (inserted) {
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
   return it->second;
 }
 
-std::optional<ChunkLocation> ChunkIndex::lookup(const ChunkDigest& digest) const {
+std::optional<ChunkLocation> ChunkIndex::do_lookup(
+    const ChunkDigest& digest, std::uint32_t /*stream*/) const {
   probes_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = shard_for(digest);
   std::lock_guard lock(shard.mutex);
@@ -40,6 +59,15 @@ std::uint64_t ChunkIndex::size() const {
     total += shard.map.size();
   }
   return total;
+}
+
+IndexStats ChunkIndex::stats() const {
+  IndexStats s;
+  s.probes = probes_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.virtual_seconds = static_cast<double>(s.probes) * probe_seconds_ +
+                      static_cast<double>(s.inserts) * insert_seconds_;
+  return s;
 }
 
 }  // namespace shredder::dedup

@@ -1,0 +1,290 @@
+#include "dedup/sparse_index.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace shredder::dedup {
+
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// Spreads the 16-bit signature over the bucket space so the alternate
+// bucket xor-offset is well distributed. Pure function of the signature:
+// relocations recompute the partner bucket without touching the log.
+std::uint64_t scramble(std::uint16_t sig) noexcept {
+  return (static_cast<std::uint64_t>(sig) + 1) * 0x9E3779B97F4A7C15ull >> 16;
+}
+
+}  // namespace
+
+SparseChunkIndex::SparseChunkIndex(const IndexConfig& config)
+    : costs_(config.costs), tuning_(config.sparse) {
+  if (!is_power_of_two(tuning_.buckets)) {
+    throw std::invalid_argument(
+        "SparseChunkIndex: buckets must be a power of two");
+  }
+  if (tuning_.container_entries == 0) {
+    throw std::invalid_argument(
+        "SparseChunkIndex: container_entries must be >= 1");
+  }
+  if (tuning_.max_load <= 0.0 || tuning_.max_load > 1.0) {
+    throw std::invalid_argument("SparseChunkIndex: max_load must be in (0,1]");
+  }
+  if (tuning_.max_kick_nodes < 2) {
+    throw std::invalid_argument(
+        "SparseChunkIndex: max_kick_nodes must be >= 2");
+  }
+  if (tuning_.max_stream_caches == 0) {
+    throw std::invalid_argument(
+        "SparseChunkIndex: max_stream_caches must be >= 1");
+  }
+  if (costs_.ram_probe_s < 0 || costs_.flash_read_s < 0 ||
+      costs_.cache_hit_s < 0 || costs_.log_append_s < 0) {
+    throw std::invalid_argument("SparseChunkIndex: negative cost");
+  }
+  n_buckets_ = tuning_.buckets;
+  slots_.assign(n_buckets_ * kSlotsPerBucket, Slot{});
+}
+
+std::uint16_t SparseChunkIndex::signature(const ChunkDigest& digest) noexcept {
+  return static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(digest.bytes[8]) << 8) | digest.bytes[9]);
+}
+
+std::uint64_t SparseChunkIndex::bucket_hash(const ChunkDigest& digest) noexcept {
+  return digest.prefix64();
+}
+
+std::size_t SparseChunkIndex::alternate_bucket(std::size_t bucket,
+                                               std::uint16_t sig) const noexcept {
+  // Partial-key cuckoo: xor with a signature-derived offset is an
+  // involution, so alternate(alternate(b)) == b and either home is always
+  // recoverable from (bucket, sig) alone.
+  return bucket ^ (scramble(sig) & (n_buckets_ - 1));
+}
+
+SparseChunkIndex::Slot* SparseChunkIndex::find_free(std::size_t bucket) noexcept {
+  for (std::size_t j = 0; j < kSlotsPerBucket; ++j) {
+    Slot& s = slots_[bucket * kSlotsPerBucket + j];
+    if (s.entry == Slot::kEmpty) return &s;
+  }
+  return nullptr;
+}
+
+// Full-digest confirmation of one signature match. The entry's container is
+// read from the tail write buffer (RAM), the stream's prefetch cache, or the
+// modelled flash log — in the last case the whole container is pulled into
+// the stream's cache, which is what makes a locality run of duplicates cost
+// one flash read.
+bool SparseChunkIndex::confirm(const Slot& s, const ChunkDigest& digest,
+                               std::uint32_t stream) const {
+  ++stats_.signature_hits;
+  const std::uint32_t container =
+      static_cast<std::uint32_t>(s.entry / tuning_.container_entries);
+  const bool sealed =
+      static_cast<std::uint64_t>(container + 1) * tuning_.container_entries <=
+      log_.size();
+  if (!sealed) {
+    // Open tail container: still in the RAM write buffer.
+    stats_.virtual_seconds += costs_.cache_hit_s;
+    ++stats_.cache_hits;
+  } else {
+    const auto [cache_it, fresh] = caches_.try_emplace(stream);
+    if (fresh) {
+      // Streams are minted per snapshot/tenant; retire the oldest stream's
+      // cache so the map stays bounded over the index lifetime.
+      cache_order_.push_back(stream);
+      if (caches_.size() > tuning_.max_stream_caches) {
+        caches_.erase(cache_order_.front());
+        cache_order_.erase(cache_order_.begin());
+      }
+    }
+    StreamCache& cache = cache_it->second;
+    const auto it = std::find(cache.begin(), cache.end(), container);
+    if (it != cache.end()) {
+      stats_.virtual_seconds += costs_.cache_hit_s;
+      ++stats_.cache_hits;
+      cache.erase(it);
+      cache.push_back(container);  // most-recently-used at the back
+    } else {
+      stats_.virtual_seconds += costs_.flash_read_s;
+      ++stats_.flash_reads;
+      if (tuning_.cache_containers > 0) {
+        if (cache.size() >= tuning_.cache_containers) cache.erase(cache.begin());
+        cache.push_back(container);
+      }
+    }
+  }
+  if (log_[s.entry].digest == digest) return true;
+  ++stats_.false_signature_hits;
+  return false;
+}
+
+const SparseChunkIndex::LogEntry* SparseChunkIndex::probe(
+    const ChunkDigest& digest, std::uint32_t stream) const {
+  const std::uint16_t sig = signature(digest);
+  const std::size_t b1 = bucket_hash(digest) & (n_buckets_ - 1);
+  const std::size_t b2 = alternate_bucket(b1, sig);
+  for (const std::size_t b : {b1, b2}) {
+    for (std::size_t j = 0; j < kSlotsPerBucket; ++j) {
+      const Slot& s = slots_[b * kSlotsPerBucket + j];
+      if (s.entry == Slot::kEmpty || s.sig != sig) continue;
+      if (confirm(s, digest, stream)) return &log_[s.entry];
+    }
+    if (b2 == b1) break;
+  }
+  // The spill bin is RAM-resident (it only ever holds adversarial
+  // bucket+signature aliases), so scanning it is part of the RAM probe.
+  for (const std::uint32_t e : spill_) {
+    if (log_[e].digest == digest) return &log_[e];
+  }
+  return nullptr;
+}
+
+bool SparseChunkIndex::place(std::uint16_t sig, std::size_t bucket,
+                             std::uint32_t entry) {
+  // Bounded BFS kickout (MemC3-style): nodes are buckets that need a free
+  // slot; expanding a node kicks one of its residents to that resident's
+  // alternate bucket. The first node with a free slot terminates the search
+  // and the displacement chain is replayed back to a root, which is one of
+  // the new key's two home buckets.
+  struct Node {
+    std::size_t bucket;
+    int parent;  // index into nodes; -1 for a root
+    int pslot;   // slot of the parent bucket kicked towards this bucket
+  };
+  std::vector<Node> nodes;
+  nodes.push_back({bucket, -1, 0});
+  const std::size_t b2 = alternate_bucket(bucket, sig);
+  if (b2 != bucket) nodes.push_back({b2, -1, 0});
+
+  // A replayable path must name each victim slot at most once: alternate-
+  // bucket cycles can route a path through the same physical slot twice, and
+  // replaying such a path would clobber an entry. Those paths are skipped;
+  // the BFS keeps searching for a clean one.
+  const auto path_distinct = [&](std::size_t leaf) {
+    std::vector<std::size_t> seen;
+    for (int cur = static_cast<int>(leaf); nodes[cur].parent != -1;
+         cur = nodes[cur].parent) {
+      const std::size_t slot_ix =
+          nodes[nodes[cur].parent].bucket * kSlotsPerBucket +
+          static_cast<std::size_t>(nodes[cur].pslot);
+      if (std::find(seen.begin(), seen.end(), slot_ix) != seen.end()) {
+        return false;
+      }
+      seen.push_back(slot_ix);
+    }
+    return true;
+  };
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (Slot* free = find_free(nodes[i].bucket); free != nullptr) {
+      if (!path_distinct(i)) continue;
+      // Replay the kickout chain from this bucket back to the root.
+      Slot* free_slot = free;
+      int cur = static_cast<int>(i);
+      while (nodes[cur].parent != -1) {
+        const Node& n = nodes[cur];
+        Slot& victim =
+            slots_[nodes[n.parent].bucket * kSlotsPerBucket + n.pslot];
+        *free_slot = victim;
+        ++stats_.kickouts;
+        free_slot = &victim;
+        cur = n.parent;
+      }
+      free_slot->sig = sig;
+      free_slot->entry = entry;
+      return true;
+    }
+    if (nodes.size() >= tuning_.max_kick_nodes) continue;  // stop expanding
+    for (std::size_t j = 0; j < kSlotsPerBucket; ++j) {
+      const Slot& s = slots_[nodes[i].bucket * kSlotsPerBucket + j];
+      nodes.push_back({alternate_bucket(nodes[i].bucket, s.sig),
+                       static_cast<int>(i), static_cast<int>(j)});
+      if (nodes.size() >= tuning_.max_kick_nodes) break;
+    }
+  }
+  return false;
+}
+
+void SparseChunkIndex::grow_and_rehash() {
+  n_buckets_ *= 2;
+  ++stats_.resizes;
+  slots_.assign(n_buckets_ * kSlotsPerBucket, Slot{});
+  spill_.clear();
+  for (std::size_t e = 0; e < log_.size(); ++e) {
+    const ChunkDigest& d = log_[e].digest;
+    if (!place(signature(d), bucket_hash(d) & (n_buckets_ - 1),
+               static_cast<std::uint32_t>(e))) {
+      spill_.push_back(static_cast<std::uint32_t>(e));
+    }
+  }
+}
+
+std::optional<ChunkLocation> SparseChunkIndex::do_lookup_or_insert(
+    const ChunkDigest& digest, const ChunkLocation& loc, std::uint32_t stream) {
+  std::lock_guard lock(mu_);
+  ++stats_.probes;
+  stats_.virtual_seconds += costs_.ram_probe_s;
+  if (const LogEntry* e = probe(digest, stream)) return e->loc;
+
+  if (log_.size() >= static_cast<std::size_t>(
+                         tuning_.max_load *
+                         static_cast<double>(n_buckets_ * kSlotsPerBucket))) {
+    grow_and_rehash();
+  }
+  const auto entry = static_cast<std::uint32_t>(log_.size());
+  log_.push_back({digest, loc});
+  stats_.virtual_seconds += costs_.log_append_s;
+  ++stats_.inserts;
+  if (!place(signature(digest), bucket_hash(digest) & (n_buckets_ - 1),
+             entry)) {
+    // A placement failure in a lightly loaded table means bucket+signature
+    // aliasing that no amount of growth can separate — spill. Under real
+    // load pressure, grow once (the rehash re-places this entry, spilling
+    // it only if it still cannot fit).
+    const double capacity =
+        static_cast<double>(n_buckets_ * kSlotsPerBucket);
+    if (static_cast<double>(log_.size()) >=
+        0.5 * tuning_.max_load * capacity) {
+      grow_and_rehash();
+    } else {
+      spill_.push_back(entry);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ChunkLocation> SparseChunkIndex::do_lookup(
+    const ChunkDigest& digest, std::uint32_t stream) const {
+  std::lock_guard lock(mu_);
+  ++stats_.probes;
+  stats_.virtual_seconds += costs_.ram_probe_s;
+  if (const LogEntry* e = probe(digest, stream)) return e->loc;
+  return std::nullopt;
+}
+
+std::uint64_t SparseChunkIndex::size() const {
+  std::lock_guard lock(mu_);
+  return log_.size();
+}
+
+IndexStats SparseChunkIndex::stats() const {
+  std::lock_guard lock(mu_);
+  IndexStats s = stats_;
+  s.spilled = spill_.size();
+  return s;
+}
+
+std::size_t SparseChunkIndex::bucket_count() const {
+  std::lock_guard lock(mu_);
+  return n_buckets_;
+}
+
+std::size_t SparseChunkIndex::stream_cache_count() const {
+  std::lock_guard lock(mu_);
+  return caches_.size();
+}
+
+}  // namespace shredder::dedup

@@ -1,0 +1,110 @@
+// ChunkStash-style two-level sparse fingerprint index (Debnath, Sengupta,
+// Li — "ChunkStash: Speeding up Inline Storage Deduplication using Flash
+// Memory"; see PAPERS.md and docs/dedup_index.md).
+//
+// Level 1 (RAM): a cuckoo hash of compact slots — a 2-byte digest signature
+// plus a 4-byte offset into the entry log, ≈6 bytes per indexed chunk
+// against the 48+ bytes the baseline map burns. Each key has two candidate
+// buckets of four slots; the alternate bucket is derived from the signature
+// alone (partial-key cuckoo), so relocations never re-read the log. Inserts
+// displace via a bounded breadth-first kickout search and grow the table
+// when the search fails or occupancy passes max_load.
+//
+// Level 2 ("flash"): a log-structured full-entry region holding
+// (digest, location) records in insertion order, grouped into containers of
+// `container_entries`. A signature match must be confirmed against the full
+// digest here — that read pays the modelled flash cost unless the entry's
+// container is the still-open in-RAM tail or sits in the probing stream's
+// prefetch cache. Confirming a non-cached container prefetches it, so a run
+// of duplicate probes in backup order costs one container fetch — the
+// locality property ChunkStash is built around.
+//
+// Lookup results are bit-identical to the baseline ChunkIndex: a 2-byte
+// signature alias can cost a wasted confirmation read, never a wrong answer.
+//
+// Keys whose two candidate buckets cannot hold them even after a growth
+// step (possible only when many digests alias in BOTH bucket bits and
+// signature — adversarial inputs, since 8 such SHA-256 collisions never
+// happen by chance) land in a tiny RAM auxiliary bin, ChunkStash's escape
+// hatch, scanned after the bucket probe. Exactness is preserved either way.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dedup/digest.h"
+#include "dedup/index.h"
+
+namespace shredder::dedup {
+
+class SparseChunkIndex final : public IndexBackend {
+ public:
+  // Uses config.costs (sparse fields) and config.sparse geometry. Throws
+  // std::invalid_argument on bad geometry.
+  explicit SparseChunkIndex(const IndexConfig& config);
+
+  std::uint64_t size() const override;
+  IndexKind kind() const noexcept override { return IndexKind::kSparse; }
+  IndexStats stats() const override;
+
+  // Geometry probes for the test suite.
+  std::size_t bucket_count() const;
+  std::size_t stream_cache_count() const;
+  static constexpr std::size_t kSlotsPerBucket = 4;
+
+  // The two key derivations, exposed so tests can craft digests that force
+  // signature aliases and bucket collisions. The signature comes from digest
+  // bytes [8,10) and the primary bucket from bytes [0,8) (prefix64), so the
+  // two are independently controllable.
+  static std::uint16_t signature(const ChunkDigest& digest) noexcept;
+  static std::uint64_t bucket_hash(const ChunkDigest& digest) noexcept;
+
+ private:
+  struct Slot {
+    std::uint16_t sig = 0;
+    std::uint32_t entry = kEmpty;  // offset into the entry log
+    static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+  };
+  struct LogEntry {
+    ChunkDigest digest;
+    ChunkLocation loc;
+  };
+  // Most-recently-used container ids at the back; capacity cache_containers.
+  using StreamCache = std::vector<std::uint32_t>;
+
+  std::optional<ChunkLocation> do_lookup_or_insert(const ChunkDigest& digest,
+                                                   const ChunkLocation& loc,
+                                                   std::uint32_t stream) override;
+  std::optional<ChunkLocation> do_lookup(const ChunkDigest& digest,
+                                         std::uint32_t stream) const override;
+
+  std::size_t alternate_bucket(std::size_t bucket,
+                               std::uint16_t sig) const noexcept;
+  Slot* find_free(std::size_t bucket) noexcept;
+  // Confirms slot `s` against `digest`, charging tail/cache/flash cost.
+  bool confirm(const Slot& s, const ChunkDigest& digest,
+               std::uint32_t stream) const;
+  const LogEntry* probe(const ChunkDigest& digest, std::uint32_t stream) const;
+  // Places (sig, entry) without growing; false when the BFS bound is hit.
+  bool place(std::uint16_t sig, std::size_t bucket, std::uint32_t entry);
+  // Doubles the table once and re-places every entry; entries that still
+  // cannot be placed (bucket+signature aliases) go to the spill bin.
+  void grow_and_rehash();
+
+  IndexCostModel costs_;
+  SparseIndexTuning tuning_;
+
+  mutable std::mutex mu_;
+  std::size_t n_buckets_;                // always a power of two
+  std::vector<Slot> slots_;              // n_buckets_ * kSlotsPerBucket
+  std::vector<std::uint32_t> spill_;     // RAM auxiliary bin (entry offsets)
+  std::vector<LogEntry> log_;
+  mutable std::unordered_map<std::uint32_t, StreamCache> caches_;
+  mutable std::vector<std::uint32_t> cache_order_;  // FIFO for retirement
+  mutable IndexStats stats_;
+};
+
+}  // namespace shredder::dedup

@@ -26,6 +26,10 @@ void ServiceConfig::validate() const {
     throw std::invalid_argument(
         "ServiceConfig: tenant_queue_depth must be >= 1");
   }
+  if (dedup_on_store && !fingerprint_on_device) {
+    throw std::invalid_argument(
+        "ServiceConfig: dedup_on_store requires fingerprint_on_device");
+  }
 }
 
 ChunkingService::ChunkingService(ServiceConfig config)
@@ -42,6 +46,7 @@ ChunkingService::ChunkingService(ServiceConfig config)
   engine_cfg.fingerprint = config_.fingerprint_on_device;
   engine_ = std::make_unique<core::PipelineEngine>(engine_cfg, *device_,
                                                    tables_, config_.chunker);
+  if (config_.dedup_on_store) index_ = dedup::make_index(config_.index);
   aggregate_.init_seconds = engine_->init_seconds();
   scheduler_thread_ = std::thread([this] { scheduler_loop(); });
   store_thread_ = std::thread([this] { store_loop(); });
@@ -338,15 +343,32 @@ void ChunkingService::store_loop() {
       }
       // Fingerprint mode: chunk ends arrive resolved, paired with device
       // digests — emit them directly instead of running the host filter.
+      // With dedup_on_store every chunk also probes the shared index (the
+      // tenant id keys the sparse backend's prefetch cache).
       const auto emit_fingerprinted = [&] {
+        const double index_t0 = index_ ? index_->virtual_seconds() : 0.0;
         core::for_each_fingerprinted_chunk(
             *batch, s->last_end,
             [&](const chunking::Chunk& c, const dedup::ChunkDigest& d) {
               s->chunks.push_back(c);
               s->digests.push_back(d);
+              if (index_) {
+                const auto existing = index_->lookup_or_insert(
+                    d, dedup::ChunkLocation{next_store_offset_, c.size},
+                    s->id);
+                if (existing.has_value()) {
+                  ++s->report.n_duplicate_chunks;
+                  s->report.duplicate_bytes += c.size;
+                } else {
+                  next_store_offset_ += c.size;
+                }
+              }
               if (s->opts.on_chunk) s->opts.on_chunk(c);
               if (s->opts.on_digest) s->opts.on_digest(c, d);
             });
+        if (index_) {
+          s->report.index_seconds += index_->virtual_seconds() - index_t0;
+        }
       };
       if (batch->eos) {
         // The trailing chunk's digest still crosses the bus: extend the
@@ -501,6 +523,16 @@ ServiceReport ChunkingService::shutdown() {
       report.virtual_seconds > 0
           ? report.compute_busy_seconds / report.virtual_seconds
           : 0.0;
+  if (index_) {
+    const auto istats = index_->stats();
+    report.dedup_unique_chunks = istats.inserts;
+    // Summed from the store-thread decisions, not derived from the probe
+    // counter: external read-only probes of dedup_index() must not skew it.
+    for (const auto& t : report.tenants) {
+      report.dedup_duplicate_chunks += t.n_duplicate_chunks;
+    }
+    report.index_virtual_seconds = istats.virtual_seconds;
+  }
   report.wall_seconds = wall_.elapsed_seconds();
   return report;
 }

@@ -49,6 +49,7 @@
 #include "common/queue.h"
 #include "common/timer.h"
 #include "core/pipeline.h"
+#include "dedup/index.h"
 #include "core/source.h"
 #include "gpusim/device.h"
 #include "gpusim/spec.h"
@@ -73,6 +74,15 @@ struct ServiceConfig {
   // dedup::Sha256), delivered via TenantOptions::on_digest and
   // TenantResult::digests.
   bool fingerprint_on_device = false;
+  // Deduplicate every tenant's chunks inline on the store thread against one
+  // service-wide fingerprint index (cross-tenant dedup): per-chunk
+  // lookup_or_insert keyed by the device digest, duplicate counters and
+  // modelled index time reported per tenant. Requires fingerprint_on_device
+  // (the index consumes the device digests). The backend — paper-baseline
+  // map or ChunkStash-style sparse index — is picked by `index.kind`; the
+  // sparse backend's container prefetch cache is keyed per tenant stream.
+  bool dedup_on_store = false;
+  dedup::IndexConfig index;
 
   void validate() const;
 };
@@ -108,6 +118,13 @@ struct TenantReport {
   double virtual_seconds = 0;
   double virtual_throughput_bps = 0;
   std::size_t max_queue_depth = 0;  // backpressure high-water mark
+
+  // Inline-dedup counters (dedup_on_store mode): chunks of this stream that
+  // were already in the shared index, and the modelled index time this
+  // stream's probes consumed.
+  std::uint64_t n_duplicate_chunks = 0;
+  std::uint64_t duplicate_bytes = 0;
+  double index_seconds = 0;
 };
 
 struct TenantResult {
@@ -130,6 +147,10 @@ struct ServiceReport {
   double device_occupancy = 0;         // compute-engine busy fraction
   double init_seconds = 0;             // one-time pinned-ring construction
   double wall_seconds = 0;             // real host time the service ran
+  // Shared-index totals (dedup_on_store mode).
+  std::uint64_t dedup_unique_chunks = 0;
+  std::uint64_t dedup_duplicate_chunks = 0;
+  double index_virtual_seconds = 0;
   std::vector<TenantReport> tenants;   // in completion order
 };
 
@@ -176,6 +197,10 @@ class ChunkingService {
 
   const ServiceConfig& config() const noexcept { return config_; }
   const rabin::RabinTables& tables() const noexcept { return tables_; }
+  // The shared inline-dedup index; nullptr unless dedup_on_store is set.
+  const dedup::IndexBackend* dedup_index() const noexcept {
+    return index_.get();
+  }
 
  private:
   struct PendingBuffer {
@@ -226,6 +251,9 @@ class ChunkingService {
   rabin::RabinTables tables_;
   std::unique_ptr<gpu::Device> device_;
   std::unique_ptr<core::PipelineEngine> engine_;
+  // Shared inline-dedup state, store thread only (dedup_on_store mode).
+  std::unique_ptr<dedup::IndexBackend> index_;
+  std::uint64_t next_store_offset_ = 0;
   const Stopwatch wall_;
 
   std::mutex mu_;  // sessions map, scheduler wakeups, completion, timeline

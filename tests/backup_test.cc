@@ -318,5 +318,101 @@ TEST(BackupServer, BandwidthDecreasesWithDissimilarity) {
   EXPECT_GT(low.backup_bandwidth_gbps, high.backup_bandwidth_gbps);
 }
 
+// --- Sparse fingerprint index (docs/dedup_index.md) ---
+
+TEST(BackupServer, SparseIndexMatchesBaselineAcrossSimilarity) {
+  // The low-similarity regression sweep: 0% / 50% / 100% duplicate
+  // snapshots through two servers differing only in IndexKind. The sparse
+  // index must (a) make bit-identical dedup decisions and (b) never back up
+  // slower than the baseline at any similarity point.
+  ImageRepoConfig repo_cfg = small_repo_config();
+  repo_cfg.segment_bytes = 64 * 1024;  // enough segments for 50% to bite
+  ImageRepository repo(repo_cfg);
+
+  auto cfg_with = [&](dedup::IndexKind kind) {
+    auto c = small_server_config(ChunkerBackend::kShredderGpu);
+    c.index.kind = kind;
+    return c;
+  };
+  BackupServer baseline(cfg_with(dedup::IndexKind::kPaperBaseline));
+  BackupServer sparse(cfg_with(dedup::IndexKind::kSparse));
+  BackupAgent agent_a, agent_b;
+
+  const auto base = repo.snapshot(0.0, 1);
+  // change_probability 1.0 / 0.5 / 0.0 => ~0% / ~50% / 100% duplicates.
+  const double change_probs[] = {1.0, 0.5, 0.0};
+  std::uint64_t step = 0;
+  for (const double p : change_probs) {
+    if (step == 0) {
+      baseline.backup_image("base", as_bytes(base), repo, agent_a);
+      sparse.backup_image("base", as_bytes(base), repo, agent_b);
+    }
+    const auto snap = repo.snapshot(p, 100 + step);
+    std::string id = "snap" + std::to_string(step++);
+    const auto sb = baseline.backup_image(id, as_bytes(snap), repo, agent_a);
+    const auto ss = sparse.backup_image(id, as_bytes(snap), repo, agent_b);
+    ASSERT_TRUE(sb.verified);
+    ASSERT_TRUE(ss.verified);
+    // Bit-identical dedup decisions.
+    EXPECT_EQ(ss.chunks, sb.chunks) << "p=" << p;
+    EXPECT_EQ(ss.duplicate_chunks, sb.duplicate_chunks) << "p=" << p;
+    EXPECT_EQ(ss.unique_bytes, sb.unique_bytes) << "p=" << p;
+    // The sparse probe path is never the slower one.
+    EXPECT_GE(ss.backup_bandwidth_gbps, sb.backup_bandwidth_gbps) << "p=" << p;
+    EXPECT_LE(ss.index_seconds, sb.index_seconds) << "p=" << p;
+    EXPECT_EQ(ss.index_kind, dedup::IndexKind::kSparse);
+    EXPECT_EQ(sb.index_kind, dedup::IndexKind::kPaperBaseline);
+  }
+  // Identical backup streams reached both agents.
+  EXPECT_EQ(agent_a.unique_bytes(), agent_b.unique_bytes());
+  EXPECT_EQ(agent_a.unique_chunks(), agent_b.unique_chunks());
+  EXPECT_EQ(baseline.index().size(), sparse.index().size());
+}
+
+TEST(BackupServer, SparseIndexDuplicateRunsHitThePrefetchCache) {
+  // A fully duplicate snapshot probes the index in the same order the base
+  // snapshot inserted it, so the sparse backend should serve almost every
+  // probe from a prefetched container instead of the modelled flash.
+  ImageRepository repo(small_repo_config());
+  auto cfg = small_server_config(ChunkerBackend::kShredderGpu);
+  cfg.index.kind = dedup::IndexKind::kSparse;
+  cfg.index.sparse.container_entries = 64;
+  BackupServer server(cfg);
+  BackupAgent agent;
+  const auto snap = repo.snapshot(0.0, 1);
+  server.backup_image("base", as_bytes(snap), repo, agent);
+  const auto stats = server.backup_image("dup", as_bytes(snap), repo, agent);
+  ASSERT_TRUE(stats.verified);
+  EXPECT_EQ(stats.duplicate_chunks, stats.chunks);
+  EXPECT_GT(stats.index_cache_hits, 0u);
+  // One flash read per sealed container (plus alias noise), far fewer than
+  // one per chunk.
+  EXPECT_LT(stats.index_flash_reads,
+            stats.chunks / 8 + cfg.index.sparse.container_entries);
+}
+
+TEST(BackupAgent, CatalogKnobKeepsProtocolExact) {
+  // The agent-side catalog index behaves identically under both kinds.
+  for (const auto kind :
+       {dedup::IndexKind::kPaperBaseline, dedup::IndexKind::kSparse}) {
+    dedup::IndexConfig cfg;
+    cfg.kind = kind;
+    BackupAgent agent(cfg);
+    agent.begin_image("img");
+    const auto a = random_bytes(100, 1);
+    agent.receive("img", {dedup::ChunkHasher::hash(as_bytes(a)), a});
+    agent.receive("img", {dedup::ChunkHasher::hash(as_bytes(a)), {}});
+    EXPECT_THROW(
+        agent.receive(
+            "img", {dedup::ChunkHasher::hash(as_bytes(random_bytes(8, 2))), {}}),
+        std::invalid_argument);
+    ByteVec expect(a);
+    expect.insert(expect.end(), a.begin(), a.end());
+    EXPECT_EQ(agent.recreate("img"), expect);
+    EXPECT_GT(agent.catalog_seconds(), 0.0);
+    EXPECT_EQ(agent.catalog().kind(), kind);
+  }
+}
+
 }  // namespace
 }  // namespace shredder::backup

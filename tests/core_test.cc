@@ -6,9 +6,12 @@
 
 #include "chunking/cdc.h"
 #include "core/kernels.h"
+#include "core/pipeline.h"
 #include "core/shredder.h"
 #include "core/source.h"
 #include "common/rng.h"
+#include "dedup/digest.h"
+#include "gpusim/dma.h"
 
 namespace shredder::core {
 namespace {
@@ -465,6 +468,62 @@ TEST(Shredder, VirtualThroughputBeatsCalibratedHost) {
       chunk_on_host(as_bytes(data), cfg.chunker, gpu::HostSpec{}, true, 4);
   EXPECT_GT(gpu_result.virtual_throughput_bps,
             4.0 * host_result.virtual_throughput_bps);
+}
+
+// --- Store-stage D2H batching ---
+// Boundary and digest arrays ride back in ONE DMA descriptor per buffer
+// (ROADMAP item: batch the fingerprint digests into the Store D2H).
+
+TEST(Pipeline, StoreStageIsOneDescriptorPerBuffer) {
+  const gpu::DeviceSpec spec;
+  const std::size_t digest_bytes = 512 * sizeof(dedup::ChunkDigest);
+  for (const bool pinned : {false, true}) {
+    const gpu::HostMemKind kind =
+        pinned ? gpu::HostMemKind::kPinned : gpu::HostMemKind::kPageable;
+    for (const std::size_t n : {std::size_t{1}, std::size_t{1000}}) {
+      const double batched = store_stage_seconds(spec, n, pinned, digest_bytes);
+      // Exactly one combined transfer plus per-boundary handling...
+      EXPECT_NEAR(batched,
+                  gpu::dma_seconds(spec, n * 8 + digest_bytes,
+                                   gpu::Direction::kDeviceToHost, kind) +
+                      static_cast<double>(n) * 2e-9,
+                  1e-15);
+      // ...strictly cheaper than shipping the two arrays separately (the
+      // per-transfer setup cost is paid once, not twice).
+      const double split =
+          gpu::dma_seconds(spec, n * 8, gpu::Direction::kDeviceToHost, kind) +
+          gpu::dma_seconds(spec, digest_bytes, gpu::Direction::kDeviceToHost,
+                           kind) +
+          static_cast<double>(n) * 2e-9;
+      EXPECT_LT(batched, split);
+    }
+    // An eos batch carrying only the trailing digest is a single digest DMA.
+    EXPECT_NEAR(store_stage_seconds(spec, 0, pinned, digest_bytes),
+                gpu::dma_seconds(spec, digest_bytes,
+                                 gpu::Direction::kDeviceToHost, kind),
+                1e-15);
+  }
+}
+
+TEST(Pipeline, BatchedDigestReadbackLeavesDigestsUnchanged) {
+  // End-to-end guard for the descriptor change: a fingerprinting run's
+  // digests stay bit-identical to host SHA-256 over the same chunks.
+  ShredderConfig cfg = small_config();
+  cfg.fingerprint_on_device = true;
+  Shredder shredder(cfg);
+  const auto data = random_bytes(300000, 77);
+  const auto result = shredder.run(as_bytes(data));
+  ASSERT_EQ(result.digests.size(), result.chunks.size());
+  ASSERT_GT(result.chunks.size(), 1u);
+  for (std::size_t i = 0; i < result.chunks.size(); ++i) {
+    const auto& c = result.chunks[i];
+    EXPECT_EQ(result.digests[i],
+              dedup::ChunkHasher::hash(as_bytes(data).subspan(
+                  static_cast<std::size_t>(c.offset),
+                  static_cast<std::size_t>(c.size))))
+        << "chunk " << i;
+  }
+  EXPECT_GT(result.mean_stage_seconds.store, 0.0);
 }
 
 }  // namespace

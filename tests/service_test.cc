@@ -397,6 +397,70 @@ TEST(ChunkingService, ConfigValidation) {
   cfg = small_service_config();
   cfg.tenant_queue_depth = 0;
   EXPECT_THROW(ChunkingService{cfg}, std::invalid_argument);
+  cfg = small_service_config();
+  cfg.dedup_on_store = true;  // needs the device digests
+  EXPECT_THROW(ChunkingService{cfg}, std::invalid_argument);
+}
+
+// --- Inline dedup against the shared fingerprint index ---------------------
+
+TEST(ChunkingService, InlineDedupAcrossTenants) {
+  // Two tenants stream the same payload, a third streams distinct bytes.
+  // With dedup_on_store every chunk probes one service-wide index, so one
+  // copy of the shared payload's chunks is unique and the other is entirely
+  // duplicate — regardless of how the streams interleaved.
+  for (const auto kind :
+       {dedup::IndexKind::kPaperBaseline, dedup::IndexKind::kSparse}) {
+    ServiceConfig cfg = small_service_config();
+    cfg.fingerprint_on_device = true;
+    cfg.dedup_on_store = true;
+    cfg.index.kind = kind;
+    ChunkingService svc(cfg);
+    const auto shared_payload = random_bytes(256 * 1024, 31);
+    const auto distinct_payload = random_bytes(256 * 1024, 32);
+    const auto shared_chunks =
+        dedicated_chunks(cfg, as_bytes(shared_payload)).size();
+    const auto distinct_chunks =
+        dedicated_chunks(cfg, as_bytes(distinct_payload)).size();
+
+    std::vector<ChunkingService::StreamId> ids;
+    for (int k = 0; k < 3; ++k) ids.push_back(svc.open());
+    std::vector<std::thread> producers;
+    for (int k = 0; k < 3; ++k) {
+      producers.emplace_back([&, k] {
+        svc.submit(ids[static_cast<std::size_t>(k)],
+                   k < 2 ? as_bytes(shared_payload)
+                         : as_bytes(distinct_payload));
+        svc.finish(ids[static_cast<std::size_t>(k)]);
+      });
+    }
+    for (auto& t : producers) t.join();
+    std::uint64_t dup_chunks = 0;
+    double index_seconds = 0;
+    for (const auto id : ids) {
+      const auto res = svc.wait(id);
+      dup_chunks += res.report.n_duplicate_chunks;
+      index_seconds += res.report.index_seconds;
+    }
+    const auto report = svc.shutdown();
+    ASSERT_NE(svc.dedup_index(), nullptr);
+    EXPECT_EQ(report.dedup_unique_chunks, shared_chunks + distinct_chunks);
+    EXPECT_EQ(report.dedup_duplicate_chunks, shared_chunks);
+    EXPECT_EQ(dup_chunks, shared_chunks);
+    EXPECT_GT(index_seconds, 0.0);
+    EXPECT_NEAR(report.index_virtual_seconds, index_seconds, 1e-12);
+  }
+}
+
+TEST(ChunkingService, NoDedupIndexUnlessEnabled) {
+  ServiceConfig cfg = small_service_config();
+  ChunkingService svc(cfg);
+  EXPECT_EQ(svc.dedup_index(), nullptr);
+  const auto id = svc.open();
+  svc.finish(id);
+  const auto res = svc.wait(id);
+  EXPECT_EQ(res.report.n_duplicate_chunks, 0u);
+  svc.shutdown();
 }
 
 }  // namespace
