@@ -29,6 +29,10 @@ int main(int argc, char** argv) {
   // Hash chunks on the device too: the pipeline hands chunk+digest pairs to
   // the dedup stage and the host hash stage drops off the critical path.
   server_cfg.fingerprint_on_device = true;
+  // batch_link (the default) ships the backup stream as extent-coalesced
+  // batches — one wire message per drained buffer, duplicate-pointer runs
+  // collapsed to {first, count} extents (docs/backup_wire.md) — instead of
+  // one message per chunk.
   BackupServer server(server_cfg);
   BackupAgent agent;
 
@@ -43,10 +47,15 @@ int main(int argc, char** argv) {
                                            as_bytes(image), repo, agent);
     logical += stats.bytes;
     std::printf("vm-%u: %6.2f Gbps backup bandwidth | %5.1f%% duplicate "
-                "chunks | verified: %s\n",
+                "chunks | %llu chunks in %llu wire messages (%llu extents, "
+                "%s) | verified: %s\n",
                 vm, stats.backup_bandwidth_gbps,
                 100.0 * static_cast<double>(stats.duplicate_chunks) /
                     static_cast<double>(stats.chunks),
+                static_cast<unsigned long long>(stats.chunks),
+                static_cast<unsigned long long>(stats.link_messages),
+                static_cast<unsigned long long>(stats.link_extents),
+                human_bytes(stats.wire_bytes).c_str(),
                 stats.verified ? "yes" : "NO");
   }
 

@@ -31,17 +31,30 @@ int main(int argc, char** argv) {
   config.mode = core::GpuMode::kStreamsCoalesced;
   core::Shredder shredder(config);
 
-  // 2. Run over a data source; chunks stream out through the callback the
-  //    moment they are final (the paper's "upcall" interface).
+  // 2. Run over a data source. Chunks stream out through a ChunkSink: one
+  //    batch per drained pipeline buffer, spans over everything the buffer
+  //    finalized — no per-chunk dispatch. (The old per-chunk callback
+  //    overloads still exist as thin shims over this batch path.)
+  struct StatsSink final : shredder::ChunkSink {
+    Summary sizes;
+    std::uint64_t batches = 0;
+    void on_batch(const shredder::ChunkBatchView& batch) override {
+      ++batches;
+      for (const auto& c : batch.chunks) {
+        sizes.add(static_cast<double>(c.size));
+      }
+      // batch.chunk_bytes(i) would hand us the chunk's payload here: runs
+      // over an in-memory span always carry payload views.
+    }
+  } sink;
   const auto data = random_bytes(megabytes << 20, /*seed=*/1);
-  Summary sizes;
-  const auto result = shredder.run(
-      as_bytes(data),
-      [&](const chunking::Chunk& c) { sizes.add(static_cast<double>(c.size)); });
+  const auto result = shredder.run(as_bytes(data), sink);
+  Summary& sizes = sink.sizes;
 
   // 3. Inspect.
-  std::printf("chunked %s into %zu chunks\n",
-              human_bytes(result.total_bytes).c_str(), result.chunks.size());
+  std::printf("chunked %s into %zu chunks (%llu sink batches)\n",
+              human_bytes(result.total_bytes).c_str(), result.chunks.size(),
+              static_cast<unsigned long long>(sink.batches));
   std::printf("chunk sizes: mean %.0f B, min %.0f, max %.0f (bounds: %llu..%llu)\n",
               sizes.mean(), sizes.min(), sizes.max(),
               static_cast<unsigned long long>(config.chunker.min_size),

@@ -38,13 +38,22 @@ else
   echo "microbench not built (google-benchmark missing): skipping index smoke"
 fi
 
-echo "=== ASan/UBSan build (chunking + fingerprint + index stack) ==="
+echo "=== backup wire smoke (2 KB extent-batch BENCH_agent) ==="
+# Enforces the same >=1.5x extent-over-per-chunk link-stage bar the
+# committed BENCH_agent.json documents at full scale (docs/backup_wire.md).
+if [ -x "$BUILD_DIR/microbench" ]; then
+  "$BUILD_DIR/microbench" --agent_smoke_json="$BUILD_DIR/BENCH_agent_smoke.json"
+else
+  echo "microbench not built (google-benchmark missing): skipping agent smoke"
+fi
+
+echo "=== ASan/UBSan build (chunking + fingerprint + index + sink stack) ==="
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$SAN_DIR" -S . -DSHREDDER_WERROR=ON -DSHREDDER_SANITIZE=ON
 cmake --build "$SAN_DIR" -j "$JOBS" \
   --target chunking_test rabin_test minmax_test fingerprint_test \
-  index_test dedup_test
+  index_test dedup_test sink_test
 ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS" \
-  -R 'chunking_test|rabin_test|minmax_test|fingerprint_test|index_test|dedup_test'
+  -R 'chunking_test|rabin_test|minmax_test|fingerprint_test|index_test|dedup_test|sink_test'
 
 echo "=== ci OK ==="

@@ -16,26 +16,88 @@ void BackupAgent::begin_image(const std::string& image_id) {
 
 void BackupAgent::receive(const std::string& image_id,
                           const Message& message) {
+  // One-chunk shim over the batch protocol: a pointer is a single
+  // duplicate extent, a payload chunk a single unique extent. The payload
+  // rides as a view, never copied.
+  const std::vector<dedup::ChunkDigest> digests{message.digest};
+  const bool unique = !message.payload.empty();
+  const std::vector<ExtentBatch::Extent> extents{{0, 1, unique}};
+  std::vector<std::uint32_t> payload_sizes;
+  if (unique) {
+    payload_sizes.push_back(static_cast<std::uint32_t>(message.payload.size()));
+  }
+  apply_batch(image_id, digests, extents, payload_sizes,
+              as_bytes(message.payload));
+}
+
+void BackupAgent::receive_batch(const std::string& image_id,
+                                const ExtentBatch& batch) {
+  apply_batch(image_id, batch.digests, batch.extents, batch.payload_sizes,
+              as_bytes(batch.payload));
+}
+
+void BackupAgent::apply_batch(const std::string& image_id,
+                              const std::vector<dedup::ChunkDigest>& digests,
+                              const std::vector<ExtentBatch::Extent>& extents,
+                              const std::vector<std::uint32_t>& payload_sizes,
+                              ByteSpan payload) {
   const auto it = recipes_.find(image_id);
   if (it == recipes_.end()) {
     throw std::invalid_argument("BackupAgent: unknown image: " + image_id);
   }
-  if (message.payload.empty()) {
-    // Membership goes through the catalog index (the modelled probe); the
-    // ref-counted store stays the ground truth for the payload bytes.
-    if (!catalog_->lookup(message.digest).has_value() ||
-        !store_.add_ref(message.digest)) {
+  // Frame validation before any state changes: the extents must partition
+  // the digest array and the payload sizes must slice the payload exactly.
+  std::size_t covered = 0;
+  std::size_t n_unique = 0;
+  for (const auto& e : extents) {
+    if (e.first != covered || e.count == 0) {
       throw std::invalid_argument(
-          "BackupAgent: pointer to unknown chunk (protocol violation)");
+          "BackupAgent: extents do not partition the batch");
     }
-  } else {
-    store_.put(message.digest, as_bytes(message.payload));
-    catalog_->lookup_or_insert(
-        message.digest,
-        dedup::ChunkLocation{catalog_offset_, message.payload.size()});
-    catalog_offset_ += message.payload.size();
+    covered += e.count;
+    if (e.unique) n_unique += e.count;
   }
-  it->second.push_back(message.digest);
+  if (covered != digests.size()) {
+    throw std::invalid_argument(
+        "BackupAgent: extents do not partition the batch");
+  }
+  if (payload_sizes.size() != n_unique) {
+    throw std::invalid_argument(
+        "BackupAgent: payload_sizes/unique-chunk count mismatch");
+  }
+  std::uint64_t payload_total = 0;
+  for (const std::uint32_t sz : payload_sizes) payload_total += sz;
+  if (payload_total != payload.size()) {
+    throw std::invalid_argument(
+        "BackupAgent: payload bytes do not match payload_sizes");
+  }
+
+  auto& recipe = it->second;
+  std::size_t next_size = 0;   // index into payload_sizes
+  std::size_t payload_off = 0;
+  for (const auto& e : extents) {
+    for (std::uint32_t k = 0; k < e.count; ++k) {
+      const dedup::ChunkDigest& digest = digests[e.first + k];
+      if (e.unique) {
+        const std::size_t sz = payload_sizes[next_size++];
+        const ByteSpan bytes = payload.subspan(payload_off, sz);
+        payload_off += sz;
+        store_.put(digest, bytes);
+        catalog_->lookup_or_insert(digest,
+                                   dedup::ChunkLocation{catalog_offset_, sz});
+        catalog_offset_ += sz;
+      } else {
+        // Membership goes through the catalog index (the modelled probe);
+        // the ref-counted store stays the ground truth for payload bytes.
+        if (!catalog_->lookup(digest).has_value() ||
+            !store_.add_ref(digest)) {
+          throw std::invalid_argument(
+              "BackupAgent: pointer to unknown chunk (protocol violation)");
+        }
+      }
+      recipe.push_back(digest);
+    }
+  }
 }
 
 ByteVec BackupAgent::recreate(const std::string& image_id) const {

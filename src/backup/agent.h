@@ -26,18 +26,45 @@ class BackupAgent {
   // only the modelled catalog time (catalog_seconds) differs.
   explicit BackupAgent(dedup::IndexConfig catalog_config = {});
   // One element of the backup stream: a pointer (digest only) or a payload-
-  // carrying chunk.
+  // carrying chunk. Legacy unit of the per-chunk wire framing.
   struct Message {
     dedup::ChunkDigest digest;
     ByteVec payload;  // empty => pointer to an already-stored chunk
+  };
+
+  // One extent-coalesced wire batch (docs/backup_wire.md): everything one
+  // drained server buffer finalized. `digests` names every chunk in stream
+  // order; `extents` is a run-length partition of them into duplicate-
+  // pointer runs and unique (payload-carrying) runs; the unique payloads
+  // ride concatenated in `payload`, sliced by `payload_sizes`. Runs of
+  // consecutive duplicate pointers thus cost one extent record instead of
+  // one message per chunk.
+  struct ExtentBatch {
+    struct Extent {
+      std::uint32_t first = 0;  // index of the run's first chunk in `digests`
+      std::uint32_t count = 0;  // run length
+      bool unique = false;      // payload-carrying run vs duplicate pointers
+    };
+    std::vector<dedup::ChunkDigest> digests;   // one per chunk, stream order
+    std::vector<Extent> extents;               // partition of [0, size)
+    std::vector<std::uint32_t> payload_sizes;  // one per unique chunk
+    ByteVec payload;                           // concatenated unique payloads
   };
 
   // Opens a new image recipe. Throws if the id is already known.
   void begin_image(const std::string& image_id);
 
   // Appends one chunk/pointer to the image. A pointer to an unknown digest
-  // throws std::invalid_argument (protocol violation by the server).
+  // throws std::invalid_argument (protocol violation by the server). Kept as
+  // a one-chunk shim over receive_batch().
   void receive(const std::string& image_id, const Message& message);
+
+  // Appends a whole extent batch to the image. Throws std::invalid_argument
+  // when the batch is malformed (extents not a partition, payload sizes
+  // inconsistent) — checked before anything is applied — or on a pointer to
+  // an unknown digest (the batch may then be partially applied; the
+  // connection is considered broken either way).
+  void receive_batch(const std::string& image_id, const ExtentBatch& batch);
 
   // Recreates the full image from its recipe.
   ByteVec recreate(const std::string& image_id) const;
@@ -51,6 +78,14 @@ class BackupAgent {
   const dedup::IndexBackend& catalog() const noexcept { return *catalog_; }
 
  private:
+  // Shared applier behind both receive paths: `payload` is the concatenated
+  // unique-chunk bytes (a view — the wire buffer is never copied).
+  void apply_batch(const std::string& image_id,
+                   const std::vector<dedup::ChunkDigest>& digests,
+                   const std::vector<ExtentBatch::Extent>& extents,
+                   const std::vector<std::uint32_t>& payload_sizes,
+                   ByteSpan payload);
+
   dedup::ChunkStore store_;
   std::unique_ptr<dedup::IndexBackend> catalog_;
   std::uint64_t catalog_offset_ = 0;

@@ -17,6 +17,21 @@ bool chunker_equal(const chunking::ChunkerConfig& a,
          a.max_size == b.max_size;
 }
 
+// ChunkSink recording the drained-buffer batch structure of a chunking run
+// as cumulative chunk counts — the granularity the wire batches reuse.
+class BatchRecorder final : public ChunkSink {
+ public:
+  explicit BatchRecorder(std::vector<std::size_t>& ends) : ends_(ends) {}
+  void on_batch(const ChunkBatchView& batch) override {
+    total_ += batch.chunks.size();
+    if (!batch.chunks.empty()) ends_.push_back(total_);
+  }
+
+ private:
+  std::vector<std::size_t>& ends_;
+  std::size_t total_ = 0;
+};
+
 }  // namespace
 
 BackupServer::BackupServer(BackupServerConfig config)
@@ -62,16 +77,34 @@ BackupServer::BackupServer(BackupServerConfig config)
 
 double BackupServer::chunk_image(const std::string& image_id, ByteSpan image,
                                  std::vector<chunking::Chunk>& chunks,
-                                 std::vector<dedup::ChunkDigest>& digests) {
+                                 std::vector<dedup::ChunkDigest>& digests,
+                                 std::vector<std::size_t>& batch_ends) {
+  BatchRecorder recorder(batch_ends);
   switch (config_.backend) {
     case ChunkerBackend::kShredderGpu: {
-      auto result = shredder_->run(image);
+      auto result = shredder_->run(image, recorder);
       chunks = std::move(result.chunks);
       digests = std::move(result.digests);
       return result.virtual_seconds;
     }
     case ChunkerBackend::kPthreadsCpu: {
       chunks = cpu_chunker_->chunk(image);
+      // No pipeline buffers on the CPU path: synthesize batch bounds at the
+      // same buffer granularity the GPU backends ship at, so the wire
+      // protocol amortizes identically. (Exact bounds may differ at buffer
+      // seams — a spanning chunk lands in the earlier batch here but in the
+      // draining buffer's batch on the pipeline backends.)
+      const std::size_t buffer = config_.shredder.buffer_bytes;
+      std::uint64_t limit = buffer;
+      for (std::size_t i = 0; i < chunks.size(); ++i) {
+        if (chunks[i].end() >= limit) {
+          batch_ends.push_back(i + 1);
+          while (limit <= chunks[i].end()) limit += buffer;
+        }
+      }
+      if (batch_ends.empty() || batch_ends.back() != chunks.size()) {
+        batch_ends.push_back(chunks.size());
+      }
       const gpu::HostSpec host;
       return static_cast<double>(image.size()) /
              host.pthreads_chunking_bw_hoard;
@@ -81,6 +114,7 @@ double BackupServer::chunk_image(const std::string& image_id, ByteSpan image,
                                 config_.service->config().host.reader_bw);
       service::TenantOptions opts;
       opts.name = image_id;
+      opts.sink = &recorder;
       auto result = config_.service->chunk_stream(source, std::move(opts));
       chunks = std::move(result.chunks);
       digests = std::move(result.digests);
@@ -93,7 +127,8 @@ double BackupServer::chunk_image(const std::string& image_id, ByteSpan image,
 BackupRunStats BackupServer::dedup_and_ship(
     const std::string& image_id, ByteSpan image,
     std::vector<chunking::Chunk> chunks,
-    std::vector<dedup::ChunkDigest> digests, double generation_seconds,
+    std::vector<dedup::ChunkDigest> digests,
+    std::vector<std::size_t> batch_ends, double generation_seconds,
     double chunking_seconds, BackupAgent& agent) {
   Stopwatch wall;
   BackupRunStats stats;
@@ -106,6 +141,9 @@ BackupRunStats BackupServer::dedup_and_ship(
     throw std::invalid_argument(
         "BackupServer: digest/chunk count mismatch from the chunking stage");
   }
+  if (batch_ends.empty() || batch_ends.back() != chunks.size()) {
+    batch_ends.push_back(chunks.size());
+  }
 
   // --- Hash + index lookup + transfer stages ---
   // With device fingerprints the hash stage already happened inside the
@@ -115,7 +153,8 @@ BackupRunStats BackupServer::dedup_and_ship(
       stats.device_fingerprint
           ? 0.0
           : static_cast<double>(image.size()) / config_.costs.host_hash_bw;
-  agent.begin_image(image_id);
+  AgentLink link(agent, config_.costs.link);
+  link.begin_image(image_id);
   // The index stage is charged whatever the backend's virtual clock says
   // this snapshot's probes cost — a flat per-probe/per-insert rate for the
   // baseline, signature probes + amortized container reads for the sparse
@@ -124,27 +163,55 @@ BackupRunStats BackupServer::dedup_and_ship(
   const std::uint32_t index_stream = next_index_stream_++;
   const dedup::IndexStats index_before = index_->stats();
   stats.index_kind = index_->kind();
-  for (std::size_t i = 0; i < chunks.size(); ++i) {
-    const auto& c = chunks[i];
-    const ByteSpan payload = image.subspan(
-        static_cast<std::size_t>(c.offset), static_cast<std::size_t>(c.size));
-    const auto digest = stats.device_fingerprint
-                            ? digests[i]
-                            : dedup::ChunkHasher::hash(payload);
-    const auto existing = index_->lookup_or_insert(
-        digest, dedup::ChunkLocation{next_store_offset_, c.size},
-        index_stream);
-    BackupAgent::Message msg;
-    msg.digest = digest;
-    if (existing.has_value()) {
-      ++stats.duplicate_chunks;
-      // Pointer only: payload stays empty.
-    } else {
-      stats.unique_bytes += c.size;
-      next_store_offset_ += c.size;
-      msg.payload.assign(payload.begin(), payload.end());
+  // The stream ships at the drained-buffer granularity chunk_image recorded:
+  // with batch_link one extent-coalesced wire message per buffer, otherwise
+  // the paper's one message per chunk.
+  std::size_t chunk_i = 0;
+  for (const std::size_t batch_end : batch_ends) {
+    BackupAgent::ExtentBatch wire;
+    for (; chunk_i < batch_end; ++chunk_i) {
+      const auto& c = chunks[chunk_i];
+      const ByteSpan payload =
+          image.subspan(static_cast<std::size_t>(c.offset),
+                        static_cast<std::size_t>(c.size));
+      const auto digest = stats.device_fingerprint
+                              ? digests[chunk_i]
+                              : dedup::ChunkHasher::hash(payload);
+      const auto existing = index_->lookup_or_insert(
+          digest, dedup::ChunkLocation{next_store_offset_, c.size},
+          index_stream);
+      const bool unique = !existing.has_value();
+      if (unique) {
+        stats.unique_bytes += c.size;
+        next_store_offset_ += c.size;
+      } else {
+        ++stats.duplicate_chunks;
+      }
+      if (!config_.batch_link) {
+        BackupAgent::Message msg;
+        msg.digest = digest;
+        if (unique) msg.payload.assign(payload.begin(), payload.end());
+        link.send(image_id, msg);
+        continue;
+      }
+      // Extent coalescing: extend the open run while the chunk kind
+      // matches, else seal it and open the next.
+      const auto idx = static_cast<std::uint32_t>(wire.digests.size());
+      wire.digests.push_back(digest);
+      if (wire.extents.empty() || wire.extents.back().unique != unique) {
+        wire.extents.push_back({idx, 1, unique});
+      } else {
+        ++wire.extents.back().count;
+      }
+      if (unique) {
+        wire.payload_sizes.push_back(static_cast<std::uint32_t>(c.size));
+        wire.payload.insert(wire.payload.end(), payload.begin(),
+                            payload.end());
+      }
     }
-    agent.receive(image_id, msg);
+    if (config_.batch_link && !wire.digests.empty()) {
+      link.send_batch(image_id, wire);
+    }
   }
 
   const dedup::IndexStats index_after = index_->stats();
@@ -152,8 +219,11 @@ BackupRunStats BackupServer::dedup_and_ship(
                         index_before.virtual_seconds;
   stats.index_flash_reads = index_after.flash_reads - index_before.flash_reads;
   stats.index_cache_hits = index_after.cache_hits - index_before.cache_hits;
-  stats.link_seconds =
-      static_cast<double>(stats.unique_bytes) / config_.costs.link_bw;
+  const LinkStats& wire_stats = link.stats();
+  stats.link_seconds = wire_stats.virtual_seconds;
+  stats.link_messages = wire_stats.messages;
+  stats.link_extents = wire_stats.extents;
+  stats.wire_bytes = wire_stats.wire_bytes;
   stats.index_transfer_seconds = stats.index_seconds + stats.link_seconds;
 
   // --- Steady-state pipelined bandwidth: slowest stage wins ---
@@ -181,9 +251,11 @@ BackupRunStats BackupServer::backup_image(const std::string& image_id,
   Stopwatch wall;
   std::vector<chunking::Chunk> chunks;
   std::vector<dedup::ChunkDigest> digests;
-  const double chunking_seconds = chunk_image(image_id, image, chunks, digests);
+  std::vector<std::size_t> batch_ends;
+  const double chunking_seconds =
+      chunk_image(image_id, image, chunks, digests, batch_ends);
   auto stats = dedup_and_ship(image_id, image, std::move(chunks),
-                              std::move(digests),
+                              std::move(digests), std::move(batch_ends),
                               repo.generation_seconds(image.size()),
                               chunking_seconds, agent);
   stats.wall_seconds = wall.elapsed_seconds();
@@ -206,6 +278,7 @@ std::vector<BackupRunStats> BackupServer::backup_images(
   // multiplexed over the shared device.
   std::vector<std::vector<chunking::Chunk>> chunks(jobs.size());
   std::vector<std::vector<dedup::ChunkDigest>> digests(jobs.size());
+  std::vector<std::vector<std::size_t>> batch_ends(jobs.size());
   std::vector<double> chunk_seconds(jobs.size(), 0.0);
   std::vector<double> chunk_wall(jobs.size(), 0.0);
   std::vector<std::exception_ptr> errors(jobs.size());
@@ -216,7 +289,7 @@ std::vector<BackupRunStats> BackupServer::backup_images(
       try {
         Stopwatch wall;
         chunk_seconds[i] = chunk_image(jobs[i].image_id, jobs[i].image,
-                                       chunks[i], digests[i]);
+                                       chunks[i], digests[i], batch_ends[i]);
         chunk_wall[i] = wall.elapsed_seconds();
       } catch (...) {
         errors[i] = std::current_exception();
@@ -232,6 +305,7 @@ std::vector<BackupRunStats> BackupServer::backup_images(
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     auto stats = dedup_and_ship(jobs[i].image_id, jobs[i].image,
                                 std::move(chunks[i]), std::move(digests[i]),
+                                std::move(batch_ends[i]),
                                 repo.generation_seconds(jobs[i].image.size()),
                                 chunk_seconds[i], agent);
     // Per-image wall = its own (overlapping) chunking time + its dedup pass.

@@ -20,6 +20,7 @@
 
 #include "backup/agent.h"
 #include "backup/image.h"
+#include "backup/link.h"
 #include "chunking/chunk.h"
 #include "chunking/parallel.h"
 #include "core/shredder.h"
@@ -45,7 +46,12 @@ struct BackupCostModel {
   double host_hash_bw = 0.9e9;
   double index_probe_s = 3.5e-6;   // per-chunk lookup + queue handling
   double index_insert_s = 6.0e-6;  // extra work for a previously unseen chunk
-  double link_bw = 1.25e9;         // backup-site link (10 GbE)
+  // Backup-site wire: 10 GbE bandwidth plus the framing model —
+  // per-message handling, header bytes, extent-record bytes (link.h,
+  // docs/backup_wire.md). The framing terms are what make per-chunk
+  // messages a real term in the bandwidth equation at small chunk sizes,
+  // and what the extent-coalesced protocol amortizes away.
+  LinkCostModel link;
 };
 
 struct BackupServerConfig {
@@ -72,6 +78,11 @@ struct BackupServerConfig {
   // The chunking pipeline then delivers chunk+digest pairs and the host
   // hashing stage disappears from the bandwidth equation.
   bool fingerprint_on_device = false;
+  // Ship the backup stream as extent-coalesced batches — one wire message
+  // per drained chunking buffer, duplicate-pointer runs collapsed into
+  // {first, count} extent records (docs/backup_wire.md) — instead of one
+  // message per chunk. Off reproduces the paper's per-chunk link framing.
+  bool batch_link = true;
   // Shared chunking service, required for kSharedService. Its chunker
   // configuration must equal `chunker` (streams must stay bit-identical to
   // a dedicated run) and its fingerprint_on_device flag must match; the
@@ -91,7 +102,9 @@ struct BackupRunStats {
   double chunking_seconds = 0;
   double hashing_seconds = 0;
   double index_seconds = 0;           // modelled index time this snapshot
-  double link_seconds = 0;            // unique bytes over the backup link
+  // Modelled wire time under the AgentLink framing model: per-message
+  // handling + (headers, digests, extent records, payloads) over link_bw.
+  double link_seconds = 0;
   double index_transfer_seconds = 0;  // index_seconds + link_seconds
   bool device_fingerprint = false;
 
@@ -100,6 +113,13 @@ struct BackupRunStats {
   dedup::IndexKind index_kind = dedup::IndexKind::kPaperBaseline;
   std::uint64_t index_flash_reads = 0;
   std::uint64_t index_cache_hits = 0;
+
+  // Wire telemetry for this snapshot: messages shipped to the agent, extent
+  // records inside batch messages (zero with per-chunk framing), and total
+  // link bytes including framing overhead.
+  std::uint64_t link_messages = 0;
+  std::uint64_t link_extents = 0;
+  std::uint64_t wire_bytes = 0;
 
   // Steady-state pipelined time = slowest stage; and the headline number.
   double virtual_seconds = 0;
@@ -137,16 +157,20 @@ class BackupServer {
 
  private:
   // Chunking stage: fills `chunks` (and `digests` when the backend
-  // fingerprints on-device) and returns the virtual chunking seconds.
+  // fingerprints on-device), records the drained-buffer batch structure as
+  // cumulative chunk counts in `batch_ends` (the granularity of the wire
+  // batches downstream), and returns the virtual chunking seconds.
   double chunk_image(const std::string& image_id, ByteSpan image,
                      std::vector<chunking::Chunk>& chunks,
-                     std::vector<dedup::ChunkDigest>& digests);
+                     std::vector<dedup::ChunkDigest>& digests,
+                     std::vector<std::size_t>& batch_ends);
   // Hash + index + transfer + verification stages shared by all paths.
   // `digests` empty => hash on the host; otherwise they are the
   // device-precomputed fingerprints, 1:1 with `chunks`.
   BackupRunStats dedup_and_ship(const std::string& image_id, ByteSpan image,
                                 std::vector<chunking::Chunk> chunks,
                                 std::vector<dedup::ChunkDigest> digests,
+                                std::vector<std::size_t> batch_ends,
                                 double generation_seconds,
                                 double chunking_seconds, BackupAgent& agent);
 

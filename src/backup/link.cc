@@ -1,0 +1,41 @@
+#include "backup/link.h"
+
+namespace shredder::backup {
+
+AgentLink::AgentLink(BackupAgent& agent, const LinkCostModel& costs)
+    : agent_(agent), costs_(costs) {}
+
+void AgentLink::charge_message(std::size_t bytes) {
+  const std::uint64_t wire = costs_.msg_header_bytes + bytes;
+  ++stats_.messages;
+  stats_.wire_bytes += wire;
+  stats_.virtual_seconds +=
+      costs_.msg_s + static_cast<double>(wire) / costs_.bw;
+}
+
+void AgentLink::begin_image(const std::string& image_id) {
+  charge_message(image_id.size());
+  agent_.begin_image(image_id);
+}
+
+void AgentLink::send(const std::string& image_id,
+                     const BackupAgent::Message& message) {
+  charge_message(sizeof(dedup::ChunkDigest) + message.payload.size());
+  ++stats_.chunks;
+  stats_.payload_bytes += message.payload.size();
+  agent_.receive(image_id, message);
+}
+
+void AgentLink::send_batch(const std::string& image_id,
+                           const BackupAgent::ExtentBatch& batch) {
+  charge_message(batch.digests.size() * sizeof(dedup::ChunkDigest) +
+                 batch.extents.size() * costs_.extent_record_bytes +
+                 batch.payload_sizes.size() * sizeof(std::uint32_t) +
+                 batch.payload.size());
+  stats_.extents += batch.extents.size();
+  stats_.chunks += batch.digests.size();
+  stats_.payload_bytes += batch.payload.size();
+  agent_.receive_batch(image_id, batch);
+}
+
+}  // namespace shredder::backup

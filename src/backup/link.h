@@ -1,0 +1,73 @@
+// Server→agent wire model (docs/backup_wire.md).
+//
+// The paper's backup server ships one message per chunk: a payload-carrying
+// chunk or a bare pointer. At small chunk sizes the flat per-message
+// handling cost — syscall, header parse, dispatch at both ends — dominates
+// the link stage for duplicate-heavy snapshots: N pointer messages where one
+// extent record would do ("A Moveable Beast": what crosses the boundary, and
+// at what granularity, is the design lever).
+//
+// AgentLink owns that framing model. It offers both framings over the same
+// BackupAgent protocol:
+//   * send()       — legacy, one wire message per chunk/pointer;
+//   * send_batch() — extent-coalesced, one wire message per drained buffer,
+//     duplicate-pointer runs collapsed to {first, count} extent records and
+//     unique payloads riding concatenated in the same frame.
+// Every send charges the modelled per-message and per-byte costs and
+// forwards to the agent, so the delivered images are bit-identical across
+// framings while the link-stage seconds tell them apart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "backup/agent.h"
+
+namespace shredder::backup {
+
+// Modelled framing costs of the backup link. Bandwidth matches the §7.3
+// 10 GbE; the message constants model a 2012-era kernel network stack
+// (per-message handling dominated by syscall + interrupt + protocol work).
+struct LinkCostModel {
+  double bw = 1.25e9;          // payload bandwidth, B/s (10 GbE)
+  double msg_s = 2.0e-6;       // flat per-wire-message handling, both ends
+  std::size_t msg_header_bytes = 64;     // framing bytes per wire message
+  std::size_t extent_record_bytes = 16;  // bytes per extent record
+};
+
+// Cumulative wire telemetry.
+struct LinkStats {
+  std::uint64_t messages = 0;       // wire messages shipped (incl. control)
+  std::uint64_t extents = 0;        // extent records inside batch messages
+  std::uint64_t chunks = 0;         // chunk entries shipped (pointers + data)
+  std::uint64_t wire_bytes = 0;     // total link bytes incl. framing
+  std::uint64_t payload_bytes = 0;  // unique chunk payload bytes
+  double virtual_seconds = 0;       // modelled link-stage time
+};
+
+class AgentLink {
+ public:
+  AgentLink(BackupAgent& agent, const LinkCostModel& costs);
+
+  // Control message opening a new image recipe at the agent.
+  void begin_image(const std::string& image_id);
+
+  // Legacy framing: one wire message per chunk/pointer.
+  void send(const std::string& image_id, const BackupAgent::Message& message);
+
+  // Extent-coalesced framing: one wire message per drained buffer.
+  void send_batch(const std::string& image_id,
+                  const BackupAgent::ExtentBatch& batch);
+
+  const LinkStats& stats() const noexcept { return stats_; }
+
+ private:
+  // Charges one wire message carrying `bytes` beyond the frame header.
+  void charge_message(std::size_t bytes);
+
+  BackupAgent& agent_;
+  LinkCostModel costs_;
+  LinkStats stats_;
+};
+
+}  // namespace shredder::backup

@@ -180,10 +180,24 @@ bool PipelineEngine::submit(StreamBuffer buf) {
       std::memcpy(span.data() + buf.carry_prefix.size(), buf.data.data(),
                   buf.data.size());
     }
-    // The staged bytes now live in the pinned slot; drop the host copies.
     buf.carry += buf.carry_prefix.size();
+    if (config_.return_payload) {
+      // Keep a host copy of the staged bytes for the batch; with a carry
+      // prefix the two pieces must be spliced into the one contiguous span
+      // BoundaryBatch::payload promises.
+      if (!buf.carry_prefix.empty()) {
+        ByteVec staged;
+        staged.reserve(item.data_len);
+        staged.insert(staged.end(), buf.carry_prefix.begin(),
+                      buf.carry_prefix.end());
+        staged.insert(staged.end(), buf.data.begin(), buf.data.end());
+        buf.data = std::move(staged);
+      }
+    } else {
+      // The staged bytes now live in the pinned slot; drop the host copies.
+      buf.data = ByteVec{};
+    }
     buf.carry_prefix = ByteVec{};
-    buf.data = ByteVec{};
   } else if (!buf.eos && !buf.carry_prefix.empty()) {
     // Basic (pageable) mode DMAs straight from host memory, which must be
     // one contiguous span: splice prefix + payload here.
@@ -228,7 +242,9 @@ void PipelineEngine::transfer_loop() {
         release_slot(item->slot);
         item->slot = kNoSlot;
       }
-      item->meta.data = ByteVec{};  // payload now lives on the device
+      if (!config_.return_payload) {
+        item->meta.data = ByteVec{};  // payload now lives on the device
+      }
       if (!to_kernel_.push(std::move(*item))) return;
     }
     to_kernel_.close();
@@ -318,6 +334,10 @@ void PipelineEngine::kernel_loop() {
         // before the twin is released; the next buffer's H2D still overlaps
         // on the other twin — exactly the copy/compute overlap of §4.1.1.
         fingerprint_batch(*item, batch);
+      }
+      if (config_.return_payload) {
+        batch.payload = std::move(item->meta.data);
+        batch.payload_carry = item->meta.carry;
       }
       release_twin();
       if (!to_store_.push(std::move(batch))) return;

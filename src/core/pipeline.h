@@ -106,6 +106,12 @@ struct BoundaryBatch {
   gpu::KernelRunStats kernel_stats;
   gpu::KernelRunStats fingerprint_stats;
   std::uint64_t payload_end = 0;  // absolute end offset covered so far
+  // With config.return_payload set, the staged bytes ride back with the
+  // batch: payload covers [payload_end - payload.size(), payload_end), and
+  // its first payload_carry bytes are window context repeated from the
+  // previous buffer. Empty otherwise.
+  ByteVec payload;
+  std::size_t payload_carry = 0;
 };
 
 // Modelled Store-stage seconds for one batch: one D2H DMA descriptor
@@ -142,6 +148,11 @@ struct PipelineEngineConfig {
   // buffer and the digests ride back with the batch. Requires producers to
   // submit an eos StreamBuffer per stream (the trailing chunk closes there).
   bool fingerprint = false;
+  // Keep a host copy of every buffer's staged bytes and return it in
+  // BoundaryBatch::payload, so consumers (payload-slicing ChunkSinks, the
+  // service's dedup chunk store) can read chunk bytes at the store stage.
+  // Costs one payload-sized host copy per buffer; off by default.
+  bool return_payload = false;
 
   void validate() const;
 };

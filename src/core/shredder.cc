@@ -34,13 +34,17 @@ Shredder::Shredder(ShredderConfig config)
   device_ = std::make_unique<gpu::Device>(config_.device, config_.sim_threads);
 }
 
-ShredderResult Shredder::run(DataSource& source, const ChunkCallback& on_chunk,
-                             const DigestCallback& on_digest) {
+ShredderResult Shredder::run_impl(DataSource& source, ChunkSink* sink,
+                                  ByteSpan whole) {
   const Stopwatch wall;
   ShredderResult result;
   const std::size_t carry_bytes = config_.chunker.window - 1;
   const bool pipelined = config_.mode != GpuMode::kBasic;
   const bool fingerprint = config_.fingerprint_on_device;
+  // Streaming sources only retain payload bytes when the sink asks; an
+  // in-memory `whole` span provides views for free.
+  const bool rolling =
+      whole.empty() && sink != nullptr && sink->wants_payload();
 
   PipelineEngineConfig engine_cfg;
   engine_cfg.mode = config_.mode;
@@ -48,12 +52,13 @@ ShredderResult Shredder::run(DataSource& source, const ChunkCallback& on_chunk,
   engine_cfg.ring_slots = config_.ring_slots;
   engine_cfg.kernel = config_.kernel;
   engine_cfg.fingerprint = fingerprint;
+  engine_cfg.return_payload = rolling;
   PipelineEngine engine(engine_cfg, *device_, tables_, config_.chunker);
   result.init_seconds = engine.init_seconds();
 
-  // Store-side state: min/max filter upcalling the application. In
-  // fingerprint mode the chunk ends arrive already resolved (the engine runs
-  // the min/max cut on the device side), paired with their digests.
+  // Store-side state: min/max filter resolving final chunks. In fingerprint
+  // mode the chunk ends arrive already resolved (the engine runs the min/max
+  // cut on the device side), paired with their digests.
   std::uint64_t last_end = 0;
   std::vector<chunking::Chunk> chunks;
   std::vector<dedup::ChunkDigest> digests;
@@ -64,12 +69,36 @@ ShredderResult Shredder::run(DataSource& source, const ChunkCallback& on_chunk,
   if (!fingerprint) {
     filter.emplace(config_.chunker.min_size, config_.chunker.max_size,
                    [&](std::uint64_t end) {
-                     chunking::Chunk c{last_end, end - last_end};
+                     chunks.push_back({last_end, end - last_end});
                      last_end = end;
-                     chunks.push_back(c);
-                     if (on_chunk) on_chunk(c);
                    });
   }
+
+  // Batch delivery to the sink: one ChunkBatchView per buffer that finalized
+  // chunks (spans over the tails of `chunks`/`digests`), plus one eos batch.
+  PayloadTail tail;             // rolling payload window (streaming sinks)
+  std::uint64_t batch_seq = 0;
+  const auto deliver = [&](std::size_t first, bool eos) {
+    if (sink == nullptr) return;
+    if (!eos && chunks.size() == first) return;
+    ChunkBatchView view;
+    view.stream_id = 0;
+    view.stream_seq = batch_seq++;
+    view.eos = eos;
+    view.chunks = std::span<const chunking::Chunk>(chunks).subspan(first);
+    if (fingerprint) {
+      view.digests =
+          std::span<const dedup::ChunkDigest>(digests).subspan(first);
+    }
+    if (!whole.empty()) {
+      view.payload = whole;
+      view.payload_base = 0;
+    } else if (rolling) {
+      view.payload = tail.bytes();
+      view.payload_base = tail.base();
+    }
+    sink->on_batch(view);
+  };
 
   // --- The pipeline ---
   // Reader runs inside AsyncReader's thread; a feeder thread stages its
@@ -125,13 +154,12 @@ ShredderResult Shredder::run(DataSource& source, const ChunkCallback& on_chunk,
                              const dedup::ChunkDigest& d) {
           chunks.push_back(c);
           digests.push_back(d);
-          if (on_chunk) on_chunk(c);
-          if (on_digest) on_digest(c, d);
         });
   };
   try {
   while (auto batch = engine.next_batch()) {
     total_bytes = batch->payload_end;
+    const std::size_t batch_first = chunks.size();
     if (batch->eos) {
       // Fingerprint mode: the stream's trailing chunk closes here. Its
       // digest still crosses the bus, so account the D2H even though the
@@ -143,7 +171,11 @@ ShredderResult Shredder::run(DataSource& source, const ChunkCallback& on_chunk,
         stage_log.push_back(batch->stages);
       }
       emit_fingerprinted(*batch);
+      deliver(batch_first, /*eos=*/true);
       continue;
+    }
+    if (rolling && !batch->payload.empty()) {
+      tail.append(as_bytes(batch->payload), batch->payload_carry);
     }
     // Copy boundaries (and digests) back device -> host, then resolve
     // chunks: min/max filter here, or the engine's pre-cut chunk ends.
@@ -155,6 +187,8 @@ ShredderResult Shredder::run(DataSource& source, const ChunkCallback& on_chunk,
     } else {
       for (std::uint64_t b : batch->boundaries) filter->push(b);
     }
+    deliver(batch_first, /*eos=*/false);
+    if (rolling) tail.trim(last_end);
     result.raw_boundaries += batch->boundaries.size();
     ++n_buffers;
     stage_log.push_back(batch->stages);
@@ -172,7 +206,11 @@ ShredderResult Shredder::run(DataSource& source, const ChunkCallback& on_chunk,
   if (store_error) std::rethrow_exception(store_error);
   if (feed_error) std::rethrow_exception(feed_error);
 
-  if (!fingerprint) filter->finish(total_bytes);
+  if (!fingerprint) {
+    const std::size_t batch_first = chunks.size();
+    filter->finish(total_bytes);
+    deliver(batch_first, /*eos=*/true);
+  }
 
   // --- Reporting ---
   result.chunks = std::move(chunks);
@@ -216,10 +254,26 @@ ShredderResult Shredder::run(DataSource& source, const ChunkCallback& on_chunk,
   return result;
 }
 
+ShredderResult Shredder::run(DataSource& source, ChunkSink& sink) {
+  return run_impl(source, &sink, {});
+}
+
+ShredderResult Shredder::run(ByteSpan data, ChunkSink& sink) {
+  MemorySource source(data, config_.host.reader_bw);
+  return run_impl(source, &sink, data);
+}
+
+ShredderResult Shredder::run(DataSource& source, const ChunkCallback& on_chunk,
+                             const DigestCallback& on_digest) {
+  PerChunkAdapter adapter(on_chunk, on_digest);
+  return run_impl(source, adapter.empty() ? nullptr : &adapter, {});
+}
+
 ShredderResult Shredder::run(ByteSpan data, const ChunkCallback& on_chunk,
                              const DigestCallback& on_digest) {
   MemorySource source(data, config_.host.reader_bw);
-  return run(source, on_chunk, on_digest);
+  PerChunkAdapter adapter(on_chunk, on_digest);
+  return run_impl(source, adapter.empty() ? nullptr : &adapter, data);
 }
 
 HostChunkResult chunk_on_host(ByteSpan data,

@@ -30,6 +30,7 @@
 #include "chunking/chunk.h"
 #include "core/kernels.h"
 #include "core/pipeline.h"
+#include "core/sink.h"
 #include "core/source.h"
 #include "gpusim/device.h"
 #include "gpusim/pinned.h"
@@ -87,17 +88,25 @@ struct ShredderResult {
 
 class Shredder {
  public:
-  using ChunkCallback = std::function<void(const chunking::Chunk&)>;
-  // Invoked per chunk, in stream order, with the device-computed digest;
-  // only fires when fingerprint_on_device is set.
-  using DigestCallback =
-      std::function<void(const chunking::Chunk&, const dedup::ChunkDigest&)>;
+  // Legacy per-chunk upcall types (now shims over the batch path; see
+  // core/sink.h). on_digest only fires when fingerprint_on_device is set.
+  using ChunkCallback = ::shredder::ChunkCallback;
+  using DigestCallback = ::shredder::DigestCallback;
 
   // Throws std::invalid_argument on bad configuration.
   explicit Shredder(ShredderConfig config);
 
+  // Batch-first consumption: `sink` receives one ChunkBatchView per drained
+  // pipeline buffer that finalized chunks, in stream order, plus exactly one
+  // eos batch — no per-chunk dispatch on the store path. The ByteSpan
+  // overload always provides payload views into `data`; the DataSource
+  // overload retains buffer bytes for them only when sink.wants_payload().
+  ShredderResult run(DataSource& source, ChunkSink& sink);
+  ShredderResult run(ByteSpan data, ChunkSink& sink);
+
   // Chunks the whole stream from `source`, invoking `on_chunk` (if set) as
-  // chunks become final. Returns the full result.
+  // chunks become final. Returns the full result. Kept as a PerChunkAdapter
+  // shim over the batch path; output is bit-identical to the sink overloads.
   ShredderResult run(DataSource& source, const ChunkCallback& on_chunk = {},
                      const DigestCallback& on_digest = {});
 
@@ -111,6 +120,10 @@ class Shredder {
   gpu::Device& device() noexcept { return *device_; }
 
  private:
+  // `whole` is the full stream bytes when the caller holds them in memory
+  // (payload views come for free); empty for true streaming sources.
+  ShredderResult run_impl(DataSource& source, ChunkSink* sink, ByteSpan whole);
+
   ShredderConfig config_;
   rabin::RabinTables tables_;
   std::unique_ptr<gpu::Device> device_;

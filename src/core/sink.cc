@@ -1,0 +1,28 @@
+#include "core/sink.h"
+
+#include <utility>
+
+namespace shredder {
+
+ByteSpan ChunkBatchView::chunk_bytes(std::size_t i) const noexcept {
+  const chunking::Chunk& c = chunks[i];
+  if (c.offset < payload_base) return {};
+  const std::uint64_t rel = c.offset - payload_base;
+  if (rel + c.size > payload.size()) return {};
+  return payload.subspan(static_cast<std::size_t>(rel),
+                         static_cast<std::size_t>(c.size));
+}
+
+PerChunkAdapter::PerChunkAdapter(ChunkCallback on_chunk,
+                                 DigestCallback on_digest)
+    : on_chunk_(std::move(on_chunk)), on_digest_(std::move(on_digest)) {}
+
+void PerChunkAdapter::on_batch(const ChunkBatchView& batch) {
+  const bool paired = batch.digests.size() == batch.chunks.size();
+  for (std::size_t i = 0; i < batch.chunks.size(); ++i) {
+    if (on_chunk_) on_chunk_(batch.chunks[i]);
+    if (on_digest_ && paired) on_digest_(batch.chunks[i], batch.digests[i]);
+  }
+}
+
+}  // namespace shredder

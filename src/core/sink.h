@@ -1,0 +1,132 @@
+// Batch-first consumer API: the library's preferred way to receive chunks.
+//
+// Every producer surface used to upcall its consumer once per chunk through a
+// std::function — N virtual dispatches per drained buffer, and (on the backup
+// path) N wire messages where one would do. ChunkSink inverts that: the store
+// stage hands the consumer ONE ChunkBatchView per drained pipeline buffer,
+// carrying spans over everything the buffer finalized — chunks, their device
+// digests when the fingerprint stage ran, and (when the producer retains
+// payload bytes) a window of the stream the chunks can be sliced from.
+//
+// The per-chunk std::function surfaces (Shredder::run callbacks,
+// service::TenantOptions::on_chunk/on_digest) are kept as thin shims: they
+// wrap the callbacks in a PerChunkAdapter and ride the batch path, so legacy
+// consumers see bit-identical chunk/digest streams (tests/sink_test.cc holds
+// exactly that) while batch consumers pay no per-chunk dispatch at all.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "chunking/chunk.h"
+#include "common/bytes.h"
+#include "dedup/digest.h"
+
+namespace shredder {
+
+// Per-chunk upcall types shared by every frontend (core::Shredder, the
+// multi-tenant service). Kept for compatibility; new consumers should
+// implement ChunkSink instead.
+using ChunkCallback = std::function<void(const chunking::Chunk&)>;
+using DigestCallback =
+    std::function<void(const chunking::Chunk&, const dedup::ChunkDigest&)>;
+
+// Everything one drained buffer finalized, delivered in stream order. All
+// spans point into producer-owned storage and are valid only for the
+// duration of the on_batch() call — copy what must outlive it.
+struct ChunkBatchView {
+  std::uint32_t stream_id = 0;   // producing stream (0 for single-stream runs)
+  std::uint64_t stream_seq = 0;  // delivered-batch ordinal within the stream
+  // Final batch of the stream. Always delivered exactly once, even when no
+  // trailing chunks remain, so sinks have a flush point.
+  bool eos = false;
+
+  std::span<const chunking::Chunk> chunks;  // finalized by this buffer
+  // Device-computed digests, 1:1 with `chunks` when the producer ran the
+  // fingerprint stage; empty otherwise.
+  std::span<const dedup::ChunkDigest> digests;
+
+  // Stream bytes covering [payload_base, payload_base + payload.size()),
+  // when the producer retains them (Shredder::run over an in-memory span
+  // always does; streaming producers only when the sink wants_payload() or
+  // the service stores payloads). Empty otherwise.
+  ByteSpan payload;
+  std::uint64_t payload_base = 0;  // absolute stream offset of payload[0]
+
+  bool has_payload() const noexcept { return !payload.empty(); }
+
+  // Bytes of chunks[i], or an empty span when the chunk's range is not fully
+  // inside `payload`.
+  ByteSpan chunk_bytes(std::size_t i) const noexcept;
+};
+
+// The batch-first consumer interface. on_batch runs on the producer's store
+// thread, in stream order; it must not re-enter the producer.
+class ChunkSink {
+ public:
+  virtual ~ChunkSink() = default;
+
+  virtual void on_batch(const ChunkBatchView& batch) = 0;
+
+  // Sinks that slice chunk payloads out of the batch return true so
+  // streaming producers know to retain buffer bytes for them (retention
+  // costs a payload-sized copy per buffer, so it is opt-in).
+  virtual bool wants_payload() const noexcept { return false; }
+};
+
+// Rolling window of stream bytes a streaming producer retains for
+// payload-slicing consumers, covering [base(), base() + bytes().size()).
+// The invariant every frontend shares (Shredder's store loop, the service's
+// per-tenant store path): append one buffer's staged bytes per batch —
+// skipping the carry prefix the window already holds — hand bytes()/base()
+// to the ChunkBatchView, then trim to the open chunk's start so the window
+// stays bounded by (open chunk + one buffer).
+class PayloadTail {
+ public:
+  // Splices `staged` (carry prefix ++ payload) onto the window; the first
+  // `carry` bytes repeat bytes the window already covers and are skipped.
+  void append(ByteSpan staged, std::size_t carry) {
+    tail_.insert(tail_.end(),
+                 staged.begin() + static_cast<std::ptrdiff_t>(carry),
+                 staged.end());
+  }
+
+  // Drops everything before the absolute offset `keep_from` (typically the
+  // open chunk's start). No-op when the window starts at or after it.
+  void trim(std::uint64_t keep_from) {
+    if (keep_from <= base_) return;
+    const std::size_t drop = std::min<std::size_t>(
+        tail_.size(), static_cast<std::size_t>(keep_from - base_));
+    tail_.erase(tail_.begin(), tail_.begin() + static_cast<std::ptrdiff_t>(drop));
+    base_ += drop;
+  }
+
+  ByteSpan bytes() const noexcept { return {tail_.data(), tail_.size()}; }
+  std::uint64_t base() const noexcept { return base_; }
+  bool empty() const noexcept { return tail_.empty(); }
+
+ private:
+  ByteVec tail_;
+  std::uint64_t base_ = 0;
+};
+
+// Shim keeping the per-chunk callback surfaces alive: replays a batch as the
+// exact per-chunk upcall sequence the legacy API produced.
+class PerChunkAdapter final : public ChunkSink {
+ public:
+  explicit PerChunkAdapter(ChunkCallback on_chunk,
+                           DigestCallback on_digest = {});
+
+  void on_batch(const ChunkBatchView& batch) override;
+
+  // True when both callbacks are unset (nothing to dispatch).
+  bool empty() const noexcept { return !on_chunk_ && !on_digest_; }
+
+ private:
+  ChunkCallback on_chunk_;
+  DigestCallback on_digest_;
+};
+
+}  // namespace shredder

@@ -94,6 +94,7 @@ struct IndexStats {
   std::uint64_t kickouts = 0;        // cuckoo relocations
   std::uint64_t resizes = 0;         // table growths
   std::uint64_t spilled = 0;         // entries in the RAM auxiliary bin
+  std::uint64_t recoveries = 0;      // rebuild_from_log restarts (sparse)
   double virtual_seconds = 0;        // total modelled index time
 };
 

@@ -208,9 +208,7 @@ bool SparseChunkIndex::place(std::uint16_t sig, std::size_t bucket,
   return false;
 }
 
-void SparseChunkIndex::grow_and_rehash() {
-  n_buckets_ *= 2;
-  ++stats_.resizes;
+void SparseChunkIndex::replay_log_locked() {
   slots_.assign(n_buckets_ * kSlotsPerBucket, Slot{});
   spill_.clear();
   for (std::size_t e = 0; e < log_.size(); ++e) {
@@ -220,6 +218,56 @@ void SparseChunkIndex::grow_and_rehash() {
       spill_.push_back(static_cast<std::uint32_t>(e));
     }
   }
+}
+
+void SparseChunkIndex::grow_and_rehash() {
+  n_buckets_ *= 2;
+  ++stats_.resizes;
+  replay_log_locked();
+}
+
+// Shared restart path: size a fresh table for the recovered population,
+// rebuild the cuckoo by scanning the log, and charge the scan — one flash
+// read per (sealed or tail) container.
+void SparseChunkIndex::rebuild_locked() {
+  caches_.clear();
+  cache_order_.clear();
+  n_buckets_ = tuning_.buckets;
+  while (static_cast<double>(log_.size()) >
+         tuning_.max_load *
+             static_cast<double>(n_buckets_ * kSlotsPerBucket)) {
+    n_buckets_ *= 2;
+  }
+  replay_log_locked();
+  const std::uint64_t containers =
+      (log_.size() + tuning_.container_entries - 1) /
+      tuning_.container_entries;
+  stats_.flash_reads += containers;
+  stats_.virtual_seconds +=
+      static_cast<double>(containers) * costs_.flash_read_s;
+  ++stats_.recoveries;
+}
+
+std::vector<SparseChunkIndex::LogRecord> SparseChunkIndex::log_records()
+    const {
+  std::lock_guard lock(mu_);
+  std::vector<LogRecord> records;
+  records.reserve(log_.size());
+  for (const LogEntry& e : log_) records.push_back({e.digest, e.loc});
+  return records;
+}
+
+void SparseChunkIndex::rebuild_from_log() {
+  std::lock_guard lock(mu_);
+  rebuild_locked();
+}
+
+void SparseChunkIndex::rebuild_from_log(std::vector<LogRecord> records) {
+  std::lock_guard lock(mu_);
+  log_.clear();
+  log_.reserve(records.size());
+  for (const LogRecord& r : records) log_.push_back({r.digest, r.loc});
+  rebuild_locked();
 }
 
 std::optional<ChunkLocation> SparseChunkIndex::do_lookup_or_insert(

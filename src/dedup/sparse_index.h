@@ -50,6 +50,29 @@ class SparseChunkIndex final : public IndexBackend {
   IndexKind kind() const noexcept override { return IndexKind::kSparse; }
   IndexStats stats() const override;
 
+  // --- Recovery (docs/dedup_index.md) ---
+  // The log-structured entry region is the index's persistent state: the
+  // RAM cuckoo (and spill bin) are derived from it and a crash loses only
+  // them. One persisted record:
+  struct LogRecord {
+    ChunkDigest digest;
+    ChunkLocation loc;
+  };
+
+  // Snapshot of the entry region in insertion order — what a restart finds
+  // on flash.
+  std::vector<LogRecord> log_records() const;
+
+  // Restart recovery: discard the RAM cuckoo, spill bin and prefetch
+  // caches and reconstruct them by scanning the entry region — the in-place
+  // form reuses the index's own log, the other adopts `records` as the
+  // persisted region first. Charges one modelled flash read per container
+  // scanned and bumps stats().recoveries. Afterwards every probe answers
+  // exactly as an index that never crashed (the crash/restart differential
+  // test in tests/index_test.cc holds this).
+  void rebuild_from_log();
+  void rebuild_from_log(std::vector<LogRecord> records);
+
   // Geometry probes for the test suite.
   std::size_t bucket_count() const;
   std::size_t stream_cache_count() const;
@@ -90,9 +113,13 @@ class SparseChunkIndex final : public IndexBackend {
   const LogEntry* probe(const ChunkDigest& digest, std::uint32_t stream) const;
   // Places (sig, entry) without growing; false when the BFS bound is hit.
   bool place(std::uint16_t sig, std::size_t bucket, std::uint32_t entry);
-  // Doubles the table once and re-places every entry; entries that still
-  // cannot be placed (bucket+signature aliases) go to the spill bin.
+  // Rebuilds the cuckoo table at the current n_buckets_ from the log;
+  // entries that cannot be placed (bucket+signature aliases) go to the
+  // spill bin.
+  void replay_log_locked();
+  // Doubles the table once and re-places every entry.
   void grow_and_rehash();
+  void rebuild_locked();
 
   IndexCostModel costs_;
   SparseIndexTuning tuning_;

@@ -30,6 +30,10 @@ void ServiceConfig::validate() const {
     throw std::invalid_argument(
         "ServiceConfig: dedup_on_store requires fingerprint_on_device");
   }
+  if (store != nullptr && !dedup_on_store) {
+    throw std::invalid_argument(
+        "ServiceConfig: a chunk store requires dedup_on_store");
+  }
 }
 
 ChunkingService::ChunkingService(ServiceConfig config)
@@ -44,9 +48,16 @@ ChunkingService::ChunkingService(ServiceConfig config)
   engine_cfg.ring_slots = config_.ring_slots;
   engine_cfg.kernel = config_.kernel;
   engine_cfg.fingerprint = config_.fingerprint_on_device;
+  // Storing unique payloads needs the staged bytes back at the store stage.
+  engine_cfg.return_payload = config_.dedup_on_store;
   engine_ = std::make_unique<core::PipelineEngine>(engine_cfg, *device_,
                                                    tables_, config_.chunker);
-  if (config_.dedup_on_store) index_ = dedup::make_index(config_.index);
+  if (config_.dedup_on_store) {
+    index_ = dedup::make_index(config_.index);
+    store_ = config_.store != nullptr
+                 ? config_.store
+                 : std::make_shared<dedup::ChunkStore>();
+  }
   aggregate_.init_seconds = engine_->init_seconds();
   scheduler_thread_ = std::thread([this] { scheduler_loop(); });
   store_thread_ = std::thread([this] { store_loop(); });
@@ -79,6 +90,15 @@ ChunkingService::StreamId ChunkingService::open(TenantOptions opts) {
   if (opts.weight == 0) {
     throw std::invalid_argument("ChunkingService: weight must be >= 1");
   }
+  // The engine's payload retention is fixed at construction (dedup_on_store),
+  // so a sink that slices payloads cannot be honored on a non-retaining
+  // service — reject it instead of silently delivering empty views.
+  if (opts.sink != nullptr && opts.sink->wants_payload() &&
+      !config_.dedup_on_store) {
+    throw std::invalid_argument(
+        "ChunkingService: sink wants payload views but the service retains "
+        "none (requires dedup_on_store)");
+  }
   auto session = std::make_unique<Session>();
   const StreamId id = next_id_++;
   session->id = id;
@@ -109,12 +129,20 @@ ChunkingService::StreamId ChunkingService::open(TenantOptions opts) {
   session->filter = std::make_unique<chunking::MinMaxFilter>(
       config_.chunker.min_size, config_.chunker.max_size,
       [s = session.get()](std::uint64_t end) {
-        chunking::Chunk c{s->last_end, end - s->last_end};
+        s->chunks.push_back({s->last_end, end - s->last_end});
         s->last_end = end;
-        s->chunks.push_back(c);
-        if (s->opts.on_chunk) s->opts.on_chunk(c);
       });
   session->opts = std::move(opts);
+  // Batch-first consumption: the store thread talks to one sink per tenant.
+  // Per-chunk callbacks become a PerChunkAdapter shim over the batch path,
+  // so the hot loop never dispatches a per-chunk std::function.
+  if (session->opts.sink != nullptr) {
+    session->sink = session->opts.sink;
+  } else if (session->opts.on_chunk || session->opts.on_digest) {
+    session->adapter = std::make_unique<PerChunkAdapter>(
+        session->opts.on_chunk, session->opts.on_digest);
+    session->sink = session->adapter.get();
+  }
   sessions_.emplace(id, std::move(session));
   ++open_sessions_;
   ++aggregate_.n_tenants;
@@ -344,7 +372,9 @@ void ChunkingService::store_loop() {
       // Fingerprint mode: chunk ends arrive resolved, paired with device
       // digests — emit them directly instead of running the host filter.
       // With dedup_on_store every chunk also probes the shared index (the
-      // tenant id keys the sparse backend's prefetch cache).
+      // tenant id keys the sparse backend's prefetch cache); unique payloads
+      // are sliced from the session's rolling tail into the shared store,
+      // duplicates add a reference to the stored copy.
       const auto emit_fingerprinted = [&] {
         const double index_t0 = index_ ? index_->virtual_seconds() : 0.0;
         core::for_each_fingerprinted_chunk(
@@ -359,17 +389,34 @@ void ChunkingService::store_loop() {
                 if (existing.has_value()) {
                   ++s->report.n_duplicate_chunks;
                   s->report.duplicate_bytes += c.size;
+                  SHREDDER_CHECK_MSG(
+                      store_->add_ref(d),
+                      "ChunkingService: duplicate chunk missing from store");
                 } else {
+                  SHREDDER_CHECK_MSG(
+                      c.offset >= s->tail.base() &&
+                          c.end() <= s->tail.base() + s->tail.bytes().size(),
+                      "ChunkingService: chunk outside the rolling tail");
+                  const ByteSpan bytes = s->tail.bytes().subspan(
+                      static_cast<std::size_t>(c.offset - s->tail.base()),
+                      static_cast<std::size_t>(c.size));
                   next_store_offset_ += c.size;
+                  if (store_->put(d, bytes) == dedup::PutOutcome::kInserted) {
+                    s->report.stored_bytes += c.size;
+                  }
                 }
               }
-              if (s->opts.on_chunk) s->opts.on_chunk(c);
-              if (s->opts.on_digest) s->opts.on_digest(c, d);
             });
         if (index_) {
           s->report.index_seconds += index_->virtual_seconds() - index_t0;
         }
       };
+      const std::size_t batch_first = s->chunks.size();
+      // Extend the rolling tail before emitting: chunk payload slices and
+      // sink views read from it.
+      if (!batch->payload.empty()) {
+        s->tail.append(as_bytes(batch->payload), batch->payload_carry);
+      }
       if (batch->eos) {
         // The trailing chunk's digest still crosses the bus: extend the
         // tenant's timeline with its D2H before closing the session.
@@ -384,7 +431,7 @@ void ChunkingService::store_loop() {
           s->report.stage_totals.store += d2h;
         }
         emit_fingerprinted();  // the stream's trailing chunk closes here
-        finalize_session(*s, batch->payload_end);
+        finalize_session(*s, batch->payload_end, batch_first);
         continue;
       }
       batch->stages.store = core::store_stage_seconds(
@@ -395,6 +442,7 @@ void ChunkingService::store_loop() {
       } else {
         for (std::uint64_t b : batch->boundaries) s->filter->push(b);
       }
+      deliver_batch(*s, batch_first, /*eos=*/false);
 
       // Virtual-time composition: the tenant's twin timeline streams model
       // per-stream double buffering; the three engines are shared. The hash
@@ -449,7 +497,33 @@ void ChunkingService::store_loop() {
   }
 }
 
-void ChunkingService::finalize_session(Session& s, std::uint64_t total_bytes) {
+// One ChunkBatchView to the session's sink: the chunks appended since
+// `first`, their digests, and — when the service retains payloads — a view
+// of the rolling tail. Skips chunkless non-eos batches; the eos batch is
+// always delivered so sinks have a flush point. Afterwards the tail is
+// trimmed to the open chunk's start, keeping the window bounded.
+void ChunkingService::deliver_batch(Session& s, std::size_t first, bool eos) {
+  if (s.sink != nullptr && (eos || s.chunks.size() > first)) {
+    ChunkBatchView view;
+    view.stream_id = s.id;
+    view.stream_seq = s.batch_seq++;
+    view.eos = eos;
+    view.chunks = std::span<const chunking::Chunk>(s.chunks).subspan(first);
+    if (config_.fingerprint_on_device) {
+      view.digests =
+          std::span<const dedup::ChunkDigest>(s.digests).subspan(first);
+    }
+    if (!s.tail.empty()) {
+      view.payload = s.tail.bytes();
+      view.payload_base = s.tail.base();
+    }
+    s.sink->on_batch(view);
+  }
+  s.tail.trim(s.last_end);
+}
+
+void ChunkingService::finalize_session(Session& s, std::uint64_t total_bytes,
+                                       std::size_t batch_first) {
   if (config_.fingerprint_on_device) {
     // The engine's device-side cutter already closed the trailing chunk.
     SHREDDER_CHECK_MSG(s.last_end == total_bytes,
@@ -457,6 +531,7 @@ void ChunkingService::finalize_session(Session& s, std::uint64_t total_bytes) {
   } else {
     s.filter->finish(total_bytes);
   }
+  deliver_batch(s, batch_first, /*eos=*/true);
   auto& r = s.report;
   r.total_bytes = total_bytes;
   r.n_chunks = s.chunks.size();
@@ -471,6 +546,7 @@ void ChunkingService::finalize_session(Session& s, std::uint64_t total_bytes) {
   {
     std::lock_guard lock(mu_);
     aggregate_.total_bytes += total_bytes;
+    aggregate_.dedup_stored_bytes += r.stored_bytes;
     aggregate_.tenants.push_back(r);  // summary copy; chunks stay in session
     s.complete = true;
   }

@@ -49,7 +49,9 @@
 #include "common/queue.h"
 #include "common/timer.h"
 #include "core/pipeline.h"
+#include "core/sink.h"
 #include "dedup/index.h"
+#include "dedup/store.h"
 #include "core/source.h"
 #include "gpusim/device.h"
 #include "gpusim/spec.h"
@@ -81,20 +83,38 @@ struct ServiceConfig {
   // (the index consumes the device digests). The backend — paper-baseline
   // map or ChunkStash-style sparse index — is picked by `index.kind`; the
   // sparse backend's container prefetch cache is keyed per tenant stream.
+  //
+  // With dedup_on_store the service is a full backup target: unique chunk
+  // payloads land in a shared content-addressed ChunkStore (duplicates add a
+  // reference), per-tenant stored_bytes and ServiceReport totals track what
+  // each stream contributed, and tenant sinks receive payload views.
   bool dedup_on_store = false;
   dedup::IndexConfig index;
+  // The chunk store backing dedup_on_store. Leave null for a service-owned
+  // instance; pass one in to share a store across services (the index stays
+  // per service, so cross-service duplicates are caught by the store's own
+  // digest keying). Ignored — and rejected — without dedup_on_store.
+  std::shared_ptr<dedup::ChunkStore> store;
 
   void validate() const;
 };
 
-using ChunkCallback = std::function<void(const chunking::Chunk&)>;
-using DigestCallback =
-    std::function<void(const chunking::Chunk&, const dedup::ChunkDigest&)>;
+// Legacy per-chunk upcall types, shared with core (see core/sink.h).
+using ChunkCallback = ::shredder::ChunkCallback;
+using DigestCallback = ::shredder::DigestCallback;
 
 struct TenantOptions {
   std::string name;          // label for reports; defaults to "tenant-<id>"
   std::uint32_t weight = 1;  // weighted-fair share of device dispatches
   double channel_bw = 0;     // modelled client channel, B/s; 0 = reader_bw
+  // Batch-first consumer: one ChunkBatchView per drained buffer that
+  // finalized chunks plus an eos batch, delivered on the store thread in
+  // stream order. Not owned; must outlive the session. Payload views ride
+  // when the service retains payload bytes (dedup_on_store); a sink whose
+  // wants_payload() is true is rejected by open() on a non-retaining
+  // service. When a sink is set the per-chunk callbacks below are ignored.
+  ChunkSink* sink = nullptr;
+  // Per-chunk shims (wrapped in a PerChunkAdapter over the batch path).
   ChunkCallback on_chunk;    // invoked on the store thread, in stream order
   DigestCallback on_digest;  // per-chunk digest upcall (fingerprint mode)
 };
@@ -120,10 +140,12 @@ struct TenantReport {
   std::size_t max_queue_depth = 0;  // backpressure high-water mark
 
   // Inline-dedup counters (dedup_on_store mode): chunks of this stream that
-  // were already in the shared index, and the modelled index time this
-  // stream's probes consumed.
+  // were already in the shared index, the modelled index time this stream's
+  // probes consumed, and the unique payload bytes this stream added to the
+  // shared chunk store.
   std::uint64_t n_duplicate_chunks = 0;
   std::uint64_t duplicate_bytes = 0;
+  std::uint64_t stored_bytes = 0;
   double index_seconds = 0;
 };
 
@@ -150,6 +172,7 @@ struct ServiceReport {
   // Shared-index totals (dedup_on_store mode).
   std::uint64_t dedup_unique_chunks = 0;
   std::uint64_t dedup_duplicate_chunks = 0;
+  std::uint64_t dedup_stored_bytes = 0;  // payload bytes added to the store
   double index_virtual_seconds = 0;
   std::vector<TenantReport> tenants;   // in completion order
 };
@@ -201,6 +224,11 @@ class ChunkingService {
   const dedup::IndexBackend* dedup_index() const noexcept {
     return index_.get();
   }
+  // The shared chunk store holding unique payloads; nullptr unless
+  // dedup_on_store is set.
+  const dedup::ChunkStore* chunk_store() const noexcept {
+    return store_.get();
+  }
 
  private:
   struct PendingBuffer {
@@ -231,6 +259,14 @@ class ChunkingService {
     std::uint64_t last_end = 0;
     std::vector<chunking::Chunk> chunks;
     std::vector<dedup::ChunkDigest> digests;  // fingerprint mode, 1:1 chunks
+    // Batch delivery: the consumer sink (opts.sink, or the adapter wrapping
+    // the per-chunk callbacks), the delivered-batch ordinal, and — when the
+    // engine returns payloads — the rolling window of stream bytes from
+    // which chunk payloads are sliced.
+    ChunkSink* sink = nullptr;
+    std::unique_ptr<PerChunkAdapter> adapter;
+    std::uint64_t batch_seq = 0;
+    PayloadTail tail;
     TenantReport report;
     double ready_v = 0;         // cumulative modelled client-produce time
     double first_start_v = 0;   // start of the first H2D on the timeline
@@ -245,7 +281,9 @@ class ChunkingService {
   void dispatch(Session& s, bool send_eos);
   void scheduler_loop();
   void store_loop();
-  void finalize_session(Session& s, std::uint64_t total_bytes);
+  void deliver_batch(Session& s, std::size_t first, bool eos);
+  void finalize_session(Session& s, std::uint64_t total_bytes,
+                        std::size_t batch_first);
 
   ServiceConfig config_;
   rabin::RabinTables tables_;
@@ -253,6 +291,7 @@ class ChunkingService {
   std::unique_ptr<core::PipelineEngine> engine_;
   // Shared inline-dedup state, store thread only (dedup_on_store mode).
   std::unique_ptr<dedup::IndexBackend> index_;
+  std::shared_ptr<dedup::ChunkStore> store_;
   std::uint64_t next_store_offset_ = 0;
   const Stopwatch wall_;
 

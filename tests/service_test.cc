@@ -452,6 +452,78 @@ TEST(ChunkingService, InlineDedupAcrossTenants) {
   }
 }
 
+TEST(ChunkingService, DedupStoreHoldsUniquePayloads) {
+  // With dedup_on_store the service is a backup target: unique chunk
+  // payloads land in the shared ChunkStore, duplicates add a reference, and
+  // the recorded bytes reconstruct every stream.
+  ServiceConfig cfg = small_service_config();
+  cfg.fingerprint_on_device = true;
+  cfg.dedup_on_store = true;
+  ChunkingService svc(cfg);
+  ASSERT_NE(svc.chunk_store(), nullptr);
+  const auto payload = random_bytes(256 * 1024, 41);
+
+  const auto id_a = svc.open();
+  const auto id_b = svc.open();
+  for (const auto id : {id_a, id_b}) {
+    svc.submit(id, as_bytes(payload));
+    svc.finish(id);
+  }
+  const auto res_a = svc.wait(id_a);
+  const auto res_b = svc.wait(id_b);
+  const auto report = svc.shutdown();
+  const dedup::ChunkStore& store = *svc.chunk_store();
+
+  // One tenant contributed every unique payload, the other only references.
+  EXPECT_EQ(res_a.report.stored_bytes + res_b.report.stored_bytes,
+            payload.size());
+  EXPECT_EQ(report.dedup_stored_bytes, payload.size());
+  EXPECT_EQ(store.unique_bytes(), payload.size());
+  EXPECT_EQ(store.unique_chunks(), res_a.chunks.size());
+  // Both tenants' chunks are referenced: one ref per stored chunk + one per
+  // duplicate.
+  EXPECT_EQ(store.total_refs(), res_a.chunks.size() + res_b.chunks.size());
+  // The stored payloads reconstruct the stream byte-for-byte.
+  ByteVec rebuilt;
+  for (std::size_t i = 0; i < res_a.chunks.size(); ++i) {
+    const auto bytes = store.get(res_a.digests[i]);
+    ASSERT_TRUE(bytes.has_value());
+    EXPECT_EQ(bytes->size(), res_a.chunks[i].size);
+    rebuilt.insert(rebuilt.end(), bytes->begin(), bytes->end());
+  }
+  EXPECT_EQ(rebuilt, payload);
+}
+
+TEST(ChunkingService, SharedStoreSpansServices) {
+  // Two services sharing one ChunkStore: the second service re-stores
+  // nothing for content the first already holds (store-level dedup even
+  // though each service keeps its own index).
+  const auto payload = random_bytes(128 * 1024, 43);
+  auto store = std::make_shared<dedup::ChunkStore>();
+  for (int round = 0; round < 2; ++round) {
+    ServiceConfig cfg = small_service_config();
+    cfg.fingerprint_on_device = true;
+    cfg.dedup_on_store = true;
+    cfg.store = store;
+    ChunkingService svc(cfg);
+    const auto id = svc.open();
+    svc.submit(id, as_bytes(payload));
+    svc.finish(id);
+    const auto res = svc.wait(id);
+    svc.shutdown();
+    // Round 0 stores everything; round 1 finds every chunk already present.
+    EXPECT_EQ(res.report.stored_bytes,
+              round == 0 ? payload.size() : 0u);
+  }
+  EXPECT_EQ(store->unique_bytes(), payload.size());
+}
+
+TEST(ChunkingService, StoreWithoutDedupRejected) {
+  ServiceConfig cfg = small_service_config();
+  cfg.store = std::make_shared<dedup::ChunkStore>();
+  EXPECT_THROW(ChunkingService{cfg}, std::invalid_argument);
+}
+
 TEST(ChunkingService, NoDedupIndexUnlessEnabled) {
   ServiceConfig cfg = small_service_config();
   ChunkingService svc(cfg);
