@@ -40,6 +40,15 @@
 // bandwidths to BENCH_agent.json. The acceptance bar is batch framing
 // >= 1.5x faster on the link stage at that small-chunk operating point.
 // `--agent_smoke_json[=PATH]` is the small-image variant scripts/ci.sh runs.
+//
+// Transport loss-sweep tracking: `microbench --transport_json[=PATH]` ships
+// the same duplicate-heavy snapshot over the windowed ack-clocked transport
+// (docs/backup_wire.md) under frame-loss rates {0, 1, 5, 10, 20}% plus mild
+// reordering/duplication, writing per-point goodput, retransmit/repair and
+// stall counters to BENCH_transport.json. The acceptance bar is goodput at
+// 1% loss >= 0.7x the lossless run — recovery must stay ack-clocked, not
+// timeout-bound. `--transport_smoke_json[=PATH]` is the small-image variant
+// scripts/ci.sh runs.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -785,6 +794,140 @@ int run_agent_json(const std::string& path, bool smoke) {
   return 0;
 }
 
+// --- --transport_json mode --------------------------------------------------
+
+int run_transport_json(const std::string& path, bool smoke) {
+  using namespace shredder::backup;
+  ImageRepoConfig repo_cfg;
+  repo_cfg.image_bytes = smoke ? (8ull << 20) : (64ull << 20);
+  repo_cfg.segment_bytes = smoke ? (256ull << 10) : (1ull << 20);
+  repo_cfg.seed = 4711;
+  ImageRepository repo(repo_cfg);
+
+  // Same duplicate-heavy ~2 KB operating point as the agent bench; the
+  // variable here is the wire, not the chunking. 64 KiB frames give the
+  // fault schedule enough wire messages to bite at the 1% point, and
+  // max_payload_retx = 2 hands persistent payload losses to the digest-
+  // keyed repair protocol so the high-loss rows exercise it.
+  auto server_config = [&] {
+    BackupServerConfig cfg;
+    cfg.backend = ChunkerBackend::kShredderGpu;
+    cfg.chunker.window = 48;
+    cfg.chunker.mask_bits = 11;  // ~2 KB chunks
+    cfg.chunker.marker = 0x78;
+    cfg.chunker.min_size = 1024;
+    cfg.chunker.max_size = 8 * 1024;
+    cfg.shredder.buffer_bytes = smoke ? (1ull << 20) : (8ull << 20);
+    cfg.fingerprint_on_device = true;
+    cfg.index.kind = dedup::IndexKind::kSparse;
+    cfg.batch_link = true;
+    cfg.transport.max_frame_bytes = 64 * 1024;
+    cfg.transport.max_payload_retx = 2;
+    return cfg;
+  };
+
+  const auto base = repo.snapshot(0.0, 1);
+  const auto snap = repo.snapshot(0.25, 2);  // mixed dup/unique successor
+
+  const double losses[] = {0.0, 0.01, 0.05, 0.10, 0.20};
+  struct Point {
+    double loss = 0;
+    shredder::backup::TransportStats ts;
+    bool degraded = false;
+  };
+  std::vector<Point> points;
+  for (const double loss : losses) {
+    auto cfg = server_config();
+    cfg.transport.faults.drop = loss;
+    if (loss > 0) {  // a lossy wire reorders and duplicates a little too
+      cfg.transport.faults.reorder = 0.10;
+      // ~2 frame service times of jitter: mild reordering that the sack
+      // machinery should absorb without spurious fast retransmits.
+      cfg.transport.faults.reorder_jitter_s = 100e-6;
+      cfg.transport.faults.duplicate = 0.02;
+    }
+    cfg.transport.faults.seed = 29;
+    BackupServer server(cfg);
+    BackupAgent agent;
+    server.backup_image("base", as_bytes(base), repo, agent);
+    const auto stats = server.backup_image("snap", as_bytes(snap), repo, agent);
+    if (!stats.verified) {
+      std::fprintf(stderr,
+                   "transport bench: verification failed at loss %.2f\n",
+                   loss);
+      return 1;
+    }
+    points.push_back({loss, stats.transport, stats.link_degraded});
+  }
+  const double lossless_goodput = points.front().ts.goodput_bps;
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"image_bytes\": %llu,\n",
+               static_cast<unsigned long long>(repo_cfg.image_bytes));
+  std::fprintf(f, "  \"change_probability\": 0.25,\n");
+  std::fprintf(f, "  \"expected_chunk_bytes\": 2048,\n");
+  std::fprintf(f, "  \"max_frame_bytes\": 65536,\n");
+  std::fprintf(f, "  \"sweep\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::fprintf(
+        f,
+        "    {\"loss\": %.2f, \"goodput_gbps\": %.3f, "
+        "\"goodput_vs_lossless\": %.3f, \"link_seconds\": %.6f, "
+        "\"frames_sent\": %llu, \"retransmits\": %llu, "
+        "\"fast_retransmits\": %llu, \"rto_fires\": %llu, "
+        "\"payloads_stripped\": %llu, \"repair_frames\": %llu, "
+        "\"window_stall_seconds\": %.6f, \"degraded\": %s}%s\n",
+        p.loss, p.ts.goodput_bps / 1e9,
+        lossless_goodput > 0 ? p.ts.goodput_bps / lossless_goodput : 0.0,
+        p.ts.virtual_seconds,
+        static_cast<unsigned long long>(p.ts.frames_sent),
+        static_cast<unsigned long long>(p.ts.retransmits),
+        static_cast<unsigned long long>(p.ts.fast_retransmits),
+        static_cast<unsigned long long>(p.ts.rto_fires),
+        static_cast<unsigned long long>(p.ts.payloads_stripped),
+        static_cast<unsigned long long>(p.ts.repair_frames),
+        p.ts.window_stall_seconds, p.degraded ? "true" : "false",
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf("backup transport loss sweep (%s image, ~2 KB chunks):\n",
+              human_bytes(repo_cfg.image_bytes).c_str());
+  std::printf("  loss   goodput    vs lossless  retx (fast/rto)  repairs  "
+              "degraded\n");
+  for (const auto& p : points) {
+    std::printf("  %3.0f%%  %7.2f Gbps   %5.2fx     %5llu (%llu/%llu)    "
+                "%5llu   %s\n",
+                p.loss * 100, p.ts.goodput_bps / 1e9,
+                lossless_goodput > 0 ? p.ts.goodput_bps / lossless_goodput
+                                     : 0.0,
+                static_cast<unsigned long long>(p.ts.retransmits),
+                static_cast<unsigned long long>(p.ts.fast_retransmits),
+                static_cast<unsigned long long>(p.ts.rto_fires),
+                static_cast<unsigned long long>(p.ts.repair_frames),
+                p.degraded ? "yes" : "no");
+  }
+  std::printf("-> %s\n", path.c_str());
+  const double ratio =
+      lossless_goodput > 0 ? points[1].ts.goodput_bps / lossless_goodput : 0.0;
+  if (ratio < 0.7) {
+    std::fprintf(stderr,
+                 "transport bench: goodput at 1%% loss is %.2fx lossless, "
+                 "below the 0.7x bar — recovery is timeout-bound\n",
+                 ratio);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -843,6 +986,18 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--agent_smoke_json=", 19) == 0) {
       return run_agent_json(argv[i] + 19, /*smoke=*/true);
+    }
+    if (std::strcmp(argv[i], "--transport_json") == 0) {
+      return run_transport_json("BENCH_transport.json", /*smoke=*/false);
+    }
+    if (std::strncmp(argv[i], "--transport_json=", 17) == 0) {
+      return run_transport_json(argv[i] + 17, /*smoke=*/false);
+    }
+    if (std::strcmp(argv[i], "--transport_smoke_json") == 0) {
+      return run_transport_json("BENCH_transport_smoke.json", /*smoke=*/true);
+    }
+    if (std::strncmp(argv[i], "--transport_smoke_json=", 23) == 0) {
+      return run_transport_json(argv[i] + 23, /*smoke=*/true);
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -47,13 +47,22 @@ else
   echo "microbench not built (google-benchmark missing): skipping agent smoke"
 fi
 
-echo "=== ASan/UBSan build (chunking + fingerprint + index + sink stack) ==="
+echo "=== transport loss-sweep smoke (small-image BENCH_transport) ==="
+# Enforces the goodput-at-1%-loss >= 0.7x-lossless bar the committed
+# BENCH_transport.json documents at full scale (docs/backup_wire.md).
+if [ -x "$BUILD_DIR/microbench" ]; then
+  "$BUILD_DIR/microbench" --transport_smoke_json="$BUILD_DIR/BENCH_transport_smoke.json"
+else
+  echo "microbench not built (google-benchmark missing): skipping transport smoke"
+fi
+
+echo "=== ASan/UBSan build (chunking + fingerprint + index + wire stack) ==="
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$SAN_DIR" -S . -DSHREDDER_WERROR=ON -DSHREDDER_SANITIZE=ON
 cmake --build "$SAN_DIR" -j "$JOBS" \
   --target chunking_test rabin_test minmax_test fingerprint_test \
-  index_test dedup_test sink_test
+  index_test dedup_test sink_test transport_test
 ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS" \
-  -R 'chunking_test|rabin_test|minmax_test|fingerprint_test|index_test|dedup_test|sink_test'
+  -R 'chunking_test|rabin_test|minmax_test|fingerprint_test|index_test|dedup_test|sink_test|transport_test'
 
 echo "=== ci OK ==="

@@ -1,6 +1,7 @@
 #include "backup/backup_server.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -37,6 +38,11 @@ class BatchRecorder final : public ChunkSink {
 BackupServer::BackupServer(BackupServerConfig config)
     : config_(std::move(config)) {
   config_.chunker.validate();
+  // The repair source of the batched transport path: every unique chunk the
+  // server ships is also retained here, so a re-requested digest can always
+  // be served. Shareable (e.g. with a dedup_on_store service).
+  store_ = config_.store ? config_.store
+                         : std::make_shared<dedup::ChunkStore>();
   // The baseline backend's flat probe/insert costs live in BackupCostModel
   // (§7.3 calibration); copy them into the index config so both knobs agree.
   dedup::IndexConfig index_cfg = config_.index;
@@ -73,6 +79,28 @@ BackupServer::BackupServer(BackupServerConfig config)
       }
       break;
   }
+}
+
+TransportConfig BackupServer::transport_config(
+    const std::string& image_id) const {
+  TransportConfig cfg = config_.transport;
+  // Single source of truth for the framing calibration: the transport
+  // always prices frames with the cost model's link constants.
+  cfg.link = config_.costs.link;
+  if (config_.backend == ChunkerBackend::kSharedService && config_.service) {
+    if (const auto t = config_.service->tenant_transport(image_id)) {
+      if (t->window_frames > 0) cfg.window_frames = t->window_frames;
+      if (t->rto_s > 0) cfg.rto_s = t->rto_s;
+      if (t->agent_apply_bw >= 0) cfg.agent_apply_bw = t->agent_apply_bw;
+      if (t->drop >= 0) cfg.faults.drop = t->drop;
+      if (t->reorder >= 0) cfg.faults.reorder = t->reorder;
+      if (t->duplicate >= 0) cfg.faults.duplicate = t->duplicate;
+      if (t->delay >= 0) cfg.faults.delay = t->delay;
+      if (t->stall >= 0) cfg.faults.stall = t->stall;
+      if (t->fault_seed != 0) cfg.faults.seed = t->fault_seed;
+    }
+  }
+  return cfg;
 }
 
 double BackupServer::chunk_image(const std::string& image_id, ByteSpan image,
@@ -153,8 +181,22 @@ BackupRunStats BackupServer::dedup_and_ship(
       stats.device_fingerprint
           ? 0.0
           : static_cast<double>(image.size()) / config_.costs.host_hash_bw;
-  AgentLink link(agent, config_.costs.link);
-  link.begin_image(image_id);
+  // The wire: batched streams ride the windowed ack-clocked Transport (with
+  // the server's chunk store as the repair source); the per-chunk framing
+  // keeps the paper's fire-and-forget AgentLink model.
+  std::optional<AgentLink> link;
+  std::optional<Transport> transport;
+  if (config_.batch_link) {
+    auto store = store_;
+    transport.emplace(agent, transport_config(image_id),
+                      [store](const dedup::ChunkDigest& digest) {
+                        return store->get(digest);
+                      });
+    transport->begin_image(image_id);
+  } else {
+    link.emplace(agent, config_.costs.link);
+    link->begin_image(image_id);
+  }
   // The index stage is charged whatever the backend's virtual clock says
   // this snapshot's probes cost — a flat per-probe/per-insert rate for the
   // baseline, signature probes + amortized container reads for the sparse
@@ -191,9 +233,12 @@ BackupRunStats BackupServer::dedup_and_ship(
         BackupAgent::Message msg;
         msg.digest = digest;
         if (unique) msg.payload.assign(payload.begin(), payload.end());
-        link.send(image_id, msg);
+        link->send(image_id, msg);
         continue;
       }
+      // Retain the payload server-side: the repair protocol must be able to
+      // serve any digest it ever put on the wire.
+      if (unique) store_->put(digest, payload);
       // Extent coalescing: extend the open run while the chunk kind
       // matches, else seal it and open the next.
       const auto idx = static_cast<std::uint32_t>(wire.digests.size());
@@ -210,8 +255,12 @@ BackupRunStats BackupServer::dedup_and_ship(
       }
     }
     if (config_.batch_link && !wire.digests.empty()) {
-      link.send_batch(image_id, wire);
+      transport->send_batch(image_id, wire);
     }
+  }
+  if (transport) {
+    transport->end_image(image_id);
+    transport->flush();
   }
 
   const dedup::IndexStats index_after = index_->stats();
@@ -219,11 +268,35 @@ BackupRunStats BackupServer::dedup_and_ship(
                         index_before.virtual_seconds;
   stats.index_flash_reads = index_after.flash_reads - index_before.flash_reads;
   stats.index_cache_hits = index_after.cache_hits - index_before.cache_hits;
-  const LinkStats& wire_stats = link.stats();
-  stats.link_seconds = wire_stats.virtual_seconds;
-  stats.link_messages = wire_stats.messages;
-  stats.link_extents = wire_stats.extents;
-  stats.wire_bytes = wire_stats.wire_bytes;
+  if (transport) {
+    const TransportStats& ts = transport->stats();
+    stats.transport = ts;
+    stats.link_degraded = ts.degraded;
+    // link_seconds is the transport makespan — with faults it exceeds the
+    // logical serialized time in ts.link.virtual_seconds by the recovery
+    // cost; without faults the two agree to within the final ack round trip.
+    stats.link_seconds = ts.virtual_seconds;
+    stats.link_messages = ts.link.messages;
+    stats.link_extents = ts.link.extents;
+    stats.wire_bytes = ts.link.wire_bytes;
+    if (config_.backend == ChunkerBackend::kSharedService && config_.service) {
+      service::TenantTransportHealth health;
+      health.tenant = image_id;
+      health.frames_sent = ts.frames_sent;
+      health.retransmits = ts.retransmits;
+      health.repairs = ts.repair_frames;
+      health.stall_seconds = ts.window_stall_seconds;
+      health.link_seconds = ts.virtual_seconds;
+      health.degraded = ts.degraded;
+      config_.service->report_transport_health(std::move(health));
+    }
+  } else {
+    const LinkStats& wire_stats = link->stats();
+    stats.link_seconds = wire_stats.virtual_seconds;
+    stats.link_messages = wire_stats.messages;
+    stats.link_extents = wire_stats.extents;
+    stats.wire_bytes = wire_stats.wire_bytes;
+  }
   stats.index_transfer_seconds = stats.index_seconds + stats.link_seconds;
 
   // --- Steady-state pipelined bandwidth: slowest stage wins ---

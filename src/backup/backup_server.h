@@ -21,6 +21,7 @@
 #include "backup/agent.h"
 #include "backup/image.h"
 #include "backup/link.h"
+#include "backup/transport.h"
 #include "chunking/chunk.h"
 #include "chunking/parallel.h"
 #include "core/shredder.h"
@@ -81,8 +82,21 @@ struct BackupServerConfig {
   // Ship the backup stream as extent-coalesced batches — one wire message
   // per drained chunking buffer, duplicate-pointer runs collapsed into
   // {first, count} extent records (docs/backup_wire.md) — instead of one
-  // message per chunk. Off reproduces the paper's per-chunk link framing.
+  // message per chunk. Off reproduces the paper's per-chunk link framing
+  // over the lossless fire-and-forget AgentLink; on, the batches ride the
+  // windowed ack-clocked Transport below.
   bool batch_link = true;
+  // Transport parameters for the batched path: window/RTO/repair knobs and
+  // the injectable fault schedule (transport.h). Its framing costs are
+  // overwritten from `costs.link` so the fig18 calibration stays in one
+  // place. The defaults (no faults, instant applies) make the transport
+  // behave like the lossless link plus one end-of-image control frame.
+  TransportConfig transport;
+  // Content-addressed store of every unique chunk this server has shipped —
+  // the source the repair protocol serves re-requested digests from. Leave
+  // null for a server-owned instance; pass one in to share (e.g. with a
+  // dedup_on_store ChunkingService).
+  std::shared_ptr<dedup::ChunkStore> store;
   // Shared chunking service, required for kSharedService. Its chunker
   // configuration must equal `chunker` (streams must stay bit-identical to
   // a dedicated run) and its fingerprint_on_device flag must match; the
@@ -116,10 +130,18 @@ struct BackupRunStats {
 
   // Wire telemetry for this snapshot: messages shipped to the agent, extent
   // records inside batch messages (zero with per-chunk framing), and total
-  // link bytes including framing overhead.
+  // link bytes including framing overhead. These count the *logical* stream
+  // (each original frame once); retransmissions, acks and repair traffic are
+  // accounted in `transport` below.
   std::uint64_t link_messages = 0;
   std::uint64_t link_extents = 0;
   std::uint64_t wire_bytes = 0;
+
+  // Full transport telemetry for the batched path (zeroed for the per-chunk
+  // AgentLink path): retransmits, acks, window stalls, repair traffic,
+  // makespan, goodput, degraded-health flag.
+  TransportStats transport;
+  bool link_degraded = false;
 
   // Steady-state pipelined time = slowest stage; and the headline number.
   double virtual_seconds = 0;
@@ -174,8 +196,14 @@ class BackupServer {
                                 double generation_seconds,
                                 double chunking_seconds, BackupAgent& agent);
 
+  // Builds the per-snapshot transport configuration: server defaults, link
+  // costs from the cost model, then any per-tenant overrides registered with
+  // the shared service (kSharedService backend only).
+  TransportConfig transport_config(const std::string& image_id) const;
+
   BackupServerConfig config_;
   std::unique_ptr<dedup::IndexBackend> index_;
+  std::shared_ptr<dedup::ChunkStore> store_;  // repair source (batched path)
   std::unique_ptr<core::Shredder> shredder_;        // GPU backend
   std::unique_ptr<rabin::RabinTables> cpu_tables_;  // CPU backend
   std::unique_ptr<chunking::ParallelChunker> cpu_chunker_;

@@ -610,7 +610,41 @@ ServiceReport ChunkingService::shutdown() {
     report.index_virtual_seconds = istats.virtual_seconds;
   }
   report.wall_seconds = wall_.elapsed_seconds();
+  {
+    std::lock_guard tlock(transport_mu_);
+    report.transport.assign(transport_health_.begin(),
+                            transport_health_.end());
+    report.degraded_agents = degraded_reports_;
+  }
   return report;
+}
+
+void ChunkingService::set_tenant_transport(const std::string& tenant,
+                                           const TenantTransport& transport) {
+  std::lock_guard lock(transport_mu_);
+  tenant_transports_[tenant] = transport;
+}
+
+std::optional<TenantTransport> ChunkingService::tenant_transport(
+    const std::string& tenant) const {
+  std::lock_guard lock(transport_mu_);
+  const auto it = tenant_transports_.find(tenant);
+  if (it == tenant_transports_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ChunkingService::report_transport_health(TenantTransportHealth health) {
+  std::lock_guard lock(transport_mu_);
+  if (health.degraded) ++degraded_reports_;
+  transport_health_.push_back(std::move(health));
+  while (transport_health_.size() > config_.transport_health_capacity) {
+    transport_health_.pop_front();
+  }
+}
+
+std::vector<TenantTransportHealth> ChunkingService::transport_health() const {
+  std::lock_guard lock(transport_mu_);
+  return {transport_health_.begin(), transport_health_.end()};
 }
 
 }  // namespace shredder::service

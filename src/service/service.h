@@ -34,6 +34,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -95,8 +96,42 @@ struct ServiceConfig {
   // per service, so cross-service duplicates are caught by the store's own
   // digest keying). Ignored — and rejected — without dedup_on_store.
   std::shared_ptr<dedup::ChunkStore> store;
+  // Bound on the retained per-tenant transport health reports (oldest
+  // evicted); see report_transport_health below.
+  std::size_t transport_health_capacity = 1024;
 
   void validate() const;
+};
+
+// Per-tenant overrides for the backup transport a server uses when shipping
+// this tenant's snapshots (backup/transport.h). Plain values only — the
+// service sits below the backup layer, so this is a registry of knobs, not
+// of backup types. Sentinels mean "keep the server default": 0 for the
+// counts/timeouts/seed, negative for the rates.
+struct TenantTransport {
+  std::size_t window_frames = 0;  // sender window override; 0 = default
+  double rto_s = 0;               // initial RTO override; 0 = default
+  double agent_apply_bw = -1;     // agent apply bandwidth; <0 = default
+  // FaultModel probabilities; <0 = keep default.
+  double drop = -1;
+  double reorder = -1;
+  double duplicate = -1;
+  double delay = -1;
+  double stall = -1;
+  std::uint64_t fault_seed = 0;   // 0 = default
+};
+
+// One snapshot's transport health as reported back by a backup server:
+// enough to spot the degraded agents in a fleet without holding backup-layer
+// stats types here.
+struct TenantTransportHealth {
+  std::string tenant;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t repairs = 0;      // repair-data frames the server served
+  double stall_seconds = 0;       // sender time spent window-blocked
+  double link_seconds = 0;        // transport makespan
+  bool degraded = false;
 };
 
 // Legacy per-chunk upcall types, shared with core (see core/sink.h).
@@ -175,6 +210,10 @@ struct ServiceReport {
   std::uint64_t dedup_stored_bytes = 0;  // payload bytes added to the store
   double index_virtual_seconds = 0;
   std::vector<TenantReport> tenants;   // in completion order
+  // Backup-transport health reports received over the service lifetime and
+  // how many of them crossed a degraded threshold.
+  std::vector<TenantTransportHealth> transport;
+  std::size_t degraded_agents = 0;
 };
 
 class ChunkingService {
@@ -217,6 +256,18 @@ class ChunkingService {
   // finish()ed), stops the pipeline and returns the aggregate report.
   // The service cannot be used afterwards.
   ServiceReport shutdown();
+
+  // --- per-tenant backup-transport registry -------------------------------
+  // Backup servers driving this service consult the registry before opening
+  // a transport to a tenant's agent, and report each snapshot's transport
+  // health afterwards (bounded history; degraded agents are aggregated into
+  // the shutdown report). Thread-safe against concurrent snapshots.
+  void set_tenant_transport(const std::string& tenant,
+                            const TenantTransport& transport);
+  std::optional<TenantTransport> tenant_transport(
+      const std::string& tenant) const;
+  void report_transport_health(TenantTransportHealth health);
+  std::vector<TenantTransportHealth> transport_health() const;
 
   const ServiceConfig& config() const noexcept { return config_; }
   const rabin::RabinTables& tables() const noexcept { return tables_; }
@@ -294,6 +345,13 @@ class ChunkingService {
   std::shared_ptr<dedup::ChunkStore> store_;
   std::uint64_t next_store_offset_ = 0;
   const Stopwatch wall_;
+
+  // Backup-transport registry + health history (own lock: touched by backup
+  // servers around snapshots, never on the chunking hot path).
+  mutable std::mutex transport_mu_;
+  std::unordered_map<std::string, TenantTransport> tenant_transports_;
+  std::deque<TenantTransportHealth> transport_health_;
+  std::size_t degraded_reports_ = 0;
 
   std::mutex mu_;  // sessions map, scheduler wakeups, completion, timeline
   std::condition_variable sched_cv_;

@@ -155,10 +155,46 @@ TEST(BackupAgent, UnknownImageThrows) {
                std::invalid_argument);
 }
 
-TEST(BackupAgent, DuplicateImageIdThrows) {
+TEST(BackupAgent, BeginImageIdempotentWhileOpen) {
+  // A retransmitted begin control frame must neither duplicate nor reset an
+  // in-progress recipe; only re-opening a *sealed* image is a violation.
+  BackupAgent agent;
+  EXPECT_TRUE(agent.begin_image("img"));
+  const auto a = random_bytes(100, 1);
+  agent.receive("img", {dedup::ChunkHasher::hash(as_bytes(a)), a});
+  EXPECT_FALSE(agent.begin_image("img"));  // no-op re-open
+  agent.receive("img", {dedup::ChunkHasher::hash(as_bytes(a)), {}});
+  EXPECT_EQ(agent.recreate("img").size(), 200u);  // recipe survived intact
+  agent.end_image("img", 2);
+  EXPECT_TRUE(agent.image_sealed("img"));
+  agent.end_image("img", 2);  // sealing twice is harmless
+  try {
+    agent.begin_image("img");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.violation(), ProtocolViolation::kDuplicateImage);
+  }
+}
+
+TEST(BackupAgent, EndImageValidatesRecipeLength) {
   BackupAgent agent;
   agent.begin_image("img");
-  EXPECT_THROW(agent.begin_image("img"), std::invalid_argument);
+  const auto a = random_bytes(64, 9);
+  agent.receive("img", {dedup::ChunkHasher::hash(as_bytes(a)), a});
+  try {
+    agent.end_image("img", 5);  // truncated stream: only 1 chunk arrived
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.violation(), ProtocolViolation::kRecipeLengthMismatch);
+  }
+  agent.end_image("img", 1);
+  // Data after the seal is a violation too.
+  try {
+    agent.receive("img", {dedup::ChunkHasher::hash(as_bytes(a)), {}});
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.violation(), ProtocolViolation::kSealedImage);
+  }
 }
 
 // --- BackupServer end-to-end ---
