@@ -56,13 +56,32 @@ else
   echo "microbench not built (google-benchmark missing): skipping transport smoke"
 fi
 
-echo "=== ASan/UBSan build (chunking + fingerprint + index + wire stack) ==="
+echo "=== observability smoke (BENCH_obs + Perfetto trace export) ==="
+# Enforces the <=2% disabled-registry overhead bar and the <=1% traced
+# engine-busy vs GpuTimeline::engine_busy agreement the committed
+# BENCH_obs.json documents at full scale (docs/observability.md), and
+# checks the exported Chrome trace-event files are well-formed JSON.
+if [ -x "$BUILD_DIR/microbench" ]; then
+  (cd "$BUILD_DIR" && ./microbench --obs_smoke_json="BENCH_obs_smoke.json")
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$BUILD_DIR/BENCH_obs_smoke.json" >/dev/null
+    python3 -m json.tool "$BUILD_DIR/TRACE_obs_service.json" >/dev/null
+    python3 -m json.tool "$BUILD_DIR/TRACE_obs_transport.json" >/dev/null
+    echo "trace exports are well-formed JSON"
+  else
+    echo "python3 not available: skipping trace JSON validation"
+  fi
+else
+  echo "microbench not built (google-benchmark missing): skipping obs smoke"
+fi
+
+echo "=== ASan/UBSan build (chunking + fingerprint + index + wire + obs stack) ==="
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$SAN_DIR" -S . -DSHREDDER_WERROR=ON -DSHREDDER_SANITIZE=ON
 cmake --build "$SAN_DIR" -j "$JOBS" \
   --target chunking_test rabin_test minmax_test fingerprint_test \
-  index_test dedup_test sink_test transport_test
+  index_test dedup_test sink_test transport_test obs_test common_test
 ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS" \
-  -R 'chunking_test|rabin_test|minmax_test|fingerprint_test|index_test|dedup_test|sink_test|transport_test'
+  -R 'chunking_test|rabin_test|minmax_test|fingerprint_test|index_test|dedup_test|sink_test|transport_test|obs_test|common_test'
 
 echo "=== ci OK ==="

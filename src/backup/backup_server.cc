@@ -49,10 +49,17 @@ BackupServer::BackupServer(BackupServerConfig config)
   index_cfg.costs.probe_s = config_.costs.index_probe_s;
   index_cfg.costs.insert_s = config_.costs.index_insert_s;
   index_ = dedup::make_index(index_cfg);
+  // With a shared service and no explicit registry, the server publishes
+  // into the service's registry so one snapshot() covers both layers.
+  registry_ = config_.registry;
+  if (registry_ == nullptr && config_.service) {
+    registry_ = &config_.service->registry();
+  }
   switch (config_.backend) {
     case ChunkerBackend::kShredderGpu:
       config_.shredder.chunker = config_.chunker;
       config_.shredder.fingerprint_on_device = config_.fingerprint_on_device;
+      config_.shredder.registry = registry_;
       shredder_ = std::make_unique<core::Shredder>(config_.shredder);
       break;
     case ChunkerBackend::kPthreadsCpu:
@@ -87,6 +94,8 @@ TransportConfig BackupServer::transport_config(
   // Single source of truth for the framing calibration: the transport
   // always prices frames with the cost model's link constants.
   cfg.link = config_.costs.link;
+  cfg.tracer = config_.tracer;
+  cfg.trace_label = image_id;
   if (config_.backend == ChunkerBackend::kSharedService && config_.service) {
     if (const auto t = config_.service->tenant_transport(image_id)) {
       if (t->window_frames > 0) cfg.window_frames = t->window_frames;
@@ -314,7 +323,54 @@ BackupRunStats BackupServer::dedup_and_ship(
   stats.verified = recreated.size() == image.size() &&
                    std::equal(recreated.begin(), recreated.end(), image.begin());
   stats.wall_seconds = wall.elapsed_seconds();
+  publish_run_stats(stats, index_before, index_after);
   return stats;
+}
+
+void BackupServer::publish_run_stats(const BackupRunStats& stats,
+                                     const dedup::IndexStats& index_before,
+                                     const dedup::IndexStats& index_after) {
+  if (registry_ == nullptr) return;
+  obs::Registry& reg = *registry_;
+  reg.counter("backup.snapshots_total").add(1);
+  reg.counter("backup.bytes_total").add(stats.bytes);
+  reg.counter("backup.chunks_total").add(stats.chunks);
+  reg.counter("backup.duplicate_chunks_total").add(stats.duplicate_chunks);
+  reg.counter("backup.unique_bytes_total").add(stats.unique_bytes);
+  reg.counter("backup.retransmits_total").add(stats.transport.retransmits);
+  reg.counter("backup.repair_frames_total").add(stats.transport.repair_frames);
+  if (stats.link_degraded) reg.counter("backup.degraded_runs_total").add(1);
+  reg.gauge("backup.bandwidth_gbps").set(stats.backup_bandwidth_gbps);
+  // Per-snapshot stage timings (virtual seconds), one label per stage so
+  // the table/JSON export reads like the paper's bandwidth equation.
+  reg.timing("backup.stage_seconds", {{"stage", "generation"}})
+      .observe(stats.generation_seconds);
+  reg.timing("backup.stage_seconds", {{"stage", "chunking"}})
+      .observe(stats.chunking_seconds);
+  reg.timing("backup.stage_seconds", {{"stage", "hashing"}})
+      .observe(stats.hashing_seconds);
+  reg.timing("backup.stage_seconds", {{"stage", "index"}})
+      .observe(stats.index_seconds);
+  reg.timing("backup.stage_seconds", {{"stage", "link"}})
+      .observe(stats.link_seconds);
+  // Probe-outcome deltas for the server-owned index. The dedup layer sits
+  // below obs, so its consumers publish on its behalf.
+  const auto delta = [](std::uint64_t after, std::uint64_t before) {
+    return after - before;
+  };
+  reg.counter("index.probes_total")
+      .add(delta(index_after.probes, index_before.probes));
+  reg.counter("index.inserts_total")
+      .add(delta(index_after.inserts, index_before.inserts));
+  reg.counter("index.signature_hits_total")
+      .add(delta(index_after.signature_hits, index_before.signature_hits));
+  reg.counter("index.false_signature_hits_total")
+      .add(delta(index_after.false_signature_hits,
+                 index_before.false_signature_hits));
+  reg.counter("index.flash_reads_total")
+      .add(delta(index_after.flash_reads, index_before.flash_reads));
+  reg.counter("index.cache_hits_total")
+      .add(delta(index_after.cache_hits, index_before.cache_hits));
 }
 
 BackupRunStats BackupServer::backup_image(const std::string& image_id,

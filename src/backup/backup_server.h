@@ -26,6 +26,8 @@
 #include "chunking/parallel.h"
 #include "core/shredder.h"
 #include "dedup/index.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "service/service.h"
 
 namespace shredder::backup {
@@ -102,6 +104,14 @@ struct BackupServerConfig {
   // a dedicated run) and its fingerprint_on_device flag must match; the
   // constructor enforces both.
   std::shared_ptr<service::ChunkingService> service;
+  // Optional metrics registry (borrowed). The server publishes per-snapshot
+  // backup.* counters/timings and index.* probe-outcome deltas. Null with a
+  // shared service => the service's registry; null otherwise => no metrics.
+  obs::Registry* registry = nullptr;
+  // Optional virtual-time tracer (borrowed), forwarded to each snapshot's
+  // Transport with the image id as the track label — frame send/retransmit/
+  // ack/repair spans land on "transport/<image>/..." tracks.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct BackupRunStats {
@@ -201,7 +211,14 @@ class BackupServer {
   // the shared service (kSharedService backend only).
   TransportConfig transport_config(const std::string& image_id) const;
 
+  // Publishes one finished snapshot's deltas into registry_ (no-op when
+  // the server has no registry).
+  void publish_run_stats(const BackupRunStats& stats,
+                         const dedup::IndexStats& index_before,
+                         const dedup::IndexStats& index_after);
+
   BackupServerConfig config_;
+  obs::Registry* registry_ = nullptr;  // resolved in the constructor
   std::unique_ptr<dedup::IndexBackend> index_;
   std::shared_ptr<dedup::ChunkStore> store_;  // repair source (batched path)
   std::unique_ptr<core::Shredder> shredder_;        // GPU backend

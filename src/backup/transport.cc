@@ -22,6 +22,12 @@ Transport::Transport(BackupAgent& agent, TransportConfig config,
     throw std::invalid_argument("Transport: zero-sized window/buffer");
   }
   peer_window_ = cfg_.recv_frames;
+  if (cfg_.tracer != nullptr) {
+    track_tx_ = "transport/" + cfg_.trace_label + "/tx";
+    track_rx_ = "transport/" + cfg_.trace_label + "/rx";
+    track_agent_ = "agent/" + cfg_.trace_label;
+    track_stall_ = "transport/" + cfg_.trace_label + "/stall";
+  }
 }
 
 // --- sender API ----------------------------------------------------------
@@ -152,7 +158,10 @@ void Transport::transmit_next() {
       stats_.link.payload_bytes += frame->batch.payload.size();
     }
     ++stats_.frames_sent;
-    return wire_send(0, frame->content_bytes, [frame](double t) {
+    const char* what = frame->kind == Frame::Kind::kBegin  ? "begin"
+                       : frame->kind == Frame::Kind::kEnd  ? "end"
+                                                           : "data";
+    return wire_send(0, frame->content_bytes, what, [frame](double t) {
       Event ev;
       ev.t = t;
       ev.kind = Event::Kind::kFrameArrive;
@@ -184,7 +193,8 @@ void Transport::retransmit_frame(Outstanding& out) {
   ++stats_.frames_sent;
   const FramePtr frame = out.frame;
   const double finish =
-      wire_send(0, frame->content_bytes, [frame](double t) {
+      wire_send(0, frame->content_bytes,
+                frame->stripped ? "retx_stripped" : "retx", [frame](double t) {
         Event ev;
         ev.t = t;
         ev.kind = Event::Kind::kFrameArrive;
@@ -238,7 +248,7 @@ void Transport::fire_probe() {
   Frame probe;
   probe.kind = Frame::Kind::kProbe;
   auto frame = std::make_shared<const Frame>(std::move(probe));
-  wire_send(0, 0, [frame](double t) {
+  wire_send(0, 0, "probe", [frame](double t) {
     Event ev;
     ev.t = t;
     ev.kind = Event::Kind::kFrameArrive;
@@ -260,7 +270,7 @@ void Transport::serve_repair(const std::vector<dedup::ChunkDigest>& digests) {
     ++stats_.frames_sent;
     auto repairs = std::make_shared<
         std::vector<std::pair<dedup::ChunkDigest, ByteVec>>>(std::move(out));
-    wire_send(0, content, [repairs](double t) {
+    wire_send(0, content, "repair_data", [repairs](double t) {
       Event ev;
       ev.t = t;
       ev.kind = Event::Kind::kRepairDataArrive;
@@ -370,14 +380,22 @@ void Transport::deliver(const FramePtr& frame) {
                     ? static_cast<double>(frame->content_bytes) /
                           cfg_.agent_apply_bw
                     : 0.0;
+  bool stalled = false;
   if (cfg_.faults.stall > 0 && rng_.next_double() < cfg_.faults.stall) {
     cost += cfg_.faults.stall_s;
     ++stats_.agent_stalls;
     stats_.agent_stall_seconds += cfg_.faults.stall_s;
+    stalled = true;
   }
   if (cost > 0) {
-    apply_busy_until_ = std::max(now_, apply_busy_until_) + cost;
+    const double apply_start = std::max(now_, apply_busy_until_);
+    apply_busy_until_ = apply_start + cost;
     ++apply_outstanding_;
+    if (cfg_.tracer != nullptr) {
+      cfg_.tracer->span(track_agent_, stalled ? "apply+stall" : "apply",
+                        apply_start, apply_busy_until_,
+                        {{"seq", std::to_string(frame->seq)}});
+    }
     Event ev;
     ev.t = apply_busy_until_;
     ev.kind = Event::Kind::kApplyDone;
@@ -397,7 +415,7 @@ void Transport::send_ack() {
                               sizeof(std::uint32_t);
   ++stats_.acks_sent;
   stats_.ack_wire_bytes += cfg_.link.msg_header_bytes + content;
-  wire_send(1, content, [ack](double t) {
+  wire_send(1, content, "ack", [ack](double t) {
     Event ev;
     ev.t = t;
     ev.kind = Event::Kind::kAckArrive;
@@ -426,7 +444,7 @@ void Transport::send_repair_requests() {
     stats_.repair_digests_requested += batch.size();
     auto shared = std::make_shared<std::vector<dedup::ChunkDigest>>(batch);
     const double finish =
-        wire_send(1, batch.size() * sizeof(dedup::ChunkDigest),
+        wire_send(1, batch.size() * sizeof(dedup::ChunkDigest), "repair_req",
                   [shared](double t) {
                     Event ev;
                     ev.t = t;
@@ -453,7 +471,7 @@ void Transport::on_repair_data(
 
 // --- wire + event machinery ----------------------------------------------
 
-double Transport::wire_send(int dir, std::size_t content,
+double Transport::wire_send(int dir, std::size_t content, const char* what,
                             const std::function<Event(double)>& make_event) {
   double& busy = dir == 0 ? tx_busy_until_ : rx_busy_until_;
   const std::size_t wire = cfg_.link.msg_header_bytes + content;
@@ -461,8 +479,16 @@ double Transport::wire_send(int dir, std::size_t content,
   const double finish =
       start + cfg_.link.msg_s + static_cast<double>(wire) / cfg_.link.bw;
   busy = finish;
+  if (cfg_.tracer != nullptr) {
+    cfg_.tracer->span(dir == 0 ? track_tx_ : track_rx_, what, start, finish,
+                      {{"bytes", std::to_string(wire)}});
+  }
   if (cfg_.faults.drop > 0 && rng_.next_double() < cfg_.faults.drop) {
     ++stats_.frames_dropped;
+    if (cfg_.tracer != nullptr) {
+      cfg_.tracer->instant(dir == 0 ? track_tx_ : track_rx_, "drop", finish,
+                           {{"frame", what}});
+    }
     return finish;
   }
   double arrive = finish + cfg_.latency_s;
@@ -535,7 +561,7 @@ void Transport::fire_timeouts() {
   stats_.repair_retries += expired.size();
   auto shared = std::make_shared<std::vector<dedup::ChunkDigest>>(expired);
   const double finish =
-      wire_send(1, expired.size() * sizeof(dedup::ChunkDigest),
+      wire_send(1, expired.size() * sizeof(dedup::ChunkDigest), "repair_req",
                 [shared](double t) {
                   Event ev;
                   ev.t = t;
@@ -590,7 +616,11 @@ void Transport::pump(std::size_t target_backlog) {
         stalled_ = true;
         ++stats_.window_stalls;
       }
-      stats_.window_stall_seconds += std::max(0.0, tnext - now_);
+      const double stall = std::max(0.0, tnext - now_);
+      stats_.window_stall_seconds += stall;
+      if (cfg_.tracer != nullptr && stall > 0) {
+        cfg_.tracer->span(track_stall_, "window_stall", now_, tnext);
+      }
     } else {
       stalled_ = false;
     }

@@ -52,6 +52,7 @@
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "dedup/digest.h"
+#include "obs/trace.h"
 
 namespace shredder::backup {
 
@@ -104,6 +105,14 @@ struct TransportConfig {
   double degraded_retransmit_rate = 0.05;
   double degraded_stall_fraction = 0.25;
   FaultModel faults;
+  // Optional virtual-time tracer (borrowed; must outlive the transport).
+  // When set, every wire transmission becomes a span on the direction's
+  // track ("transport/<label>/tx" server→agent, ".../rx" agent→server) named
+  // by frame kind (data/retx/probe/repair_data/ack/repair_req), dropped
+  // transmissions become instants, agent applies span "agent/<label>", and
+  // window-stall intervals span ".../stall". Null => no tracing, zero cost.
+  obs::Tracer* tracer = nullptr;
+  std::string trace_label = "link";  // distinguishes tenants on shared tracers
 };
 
 // Cumulative transport telemetry. `link` counts each *original* frame once,
@@ -273,8 +282,9 @@ class Transport {
   // --- wire + event machinery ---
   // Transmits `content` bytes in `dir` (0 = server→agent, 1 = agent→server),
   // drawing faults, and schedules `make_event(arrival_time)` per delivered
-  // copy. Returns the transmission finish time on the local clock.
-  double wire_send(int dir, std::size_t content,
+  // copy. Returns the transmission finish time on the local clock. `what`
+  // names the transmission's trace span (data/retx/ack/...).
+  double wire_send(int dir, std::size_t content, const char* what,
                    const std::function<Event(double)>& make_event);
   void schedule(Event ev);
   double next_timeout() const;
@@ -287,6 +297,12 @@ class Transport {
   RepairSource repair_;
   TransportStats stats_;
   SplitMix64 rng_;
+
+  // Trace track names, resolved once from trace_label (empty when untraced).
+  std::string track_tx_;
+  std::string track_rx_;
+  std::string track_agent_;
+  std::string track_stall_;
 
   // Virtual clocks.
   double now_ = 0;

@@ -1,13 +1,26 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <unordered_map>
 
 namespace shredder {
 
 namespace {
+
 std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
 std::mutex g_log_mutex;
+
+// Sink and rate-limiter state live behind g_log_mutex.
+LogSink g_sink;  // empty => stderr
+
+struct RateState {
+  double last_emit = 0.0;
+  bool emitted_once = false;
+  std::uint64_t suppressed = 0;
+};
+std::unordered_map<std::string, RateState> g_rate_states;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,20 +35,72 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+std::chrono::steady_clock::time_point log_epoch() {
+  // Anchored at the first logger touch; steady_clock cannot step backwards,
+  // so deltas are monotone even across wall-clock adjustments.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
 }  // namespace
 
-LogLevel log_threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
+LogLevel log_threshold() noexcept {
+  return g_threshold.load(std::memory_order_relaxed);
+}
 
 void set_log_threshold(LogLevel level) noexcept {
   g_threshold.store(level, std::memory_order_relaxed);
 }
 
+double log_uptime_seconds() noexcept {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - log_epoch()).count();
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard lock(g_log_mutex);
+  g_sink = std::move(sink);
+}
+
 namespace detail {
 
+std::string format_line(LogLevel level, std::string_view tag,
+                        const std::string& body, double uptime_seconds) {
+  char head[64];
+  std::snprintf(head, sizeof(head), "[%12.6f] [%s] ", uptime_seconds,
+                level_name(level));
+  std::string line(head);
+  line.append(tag.data(), tag.size());
+  line += ": ";
+  line += body;
+  return line;
+}
+
 void log_write(LogLevel level, std::string_view tag, const std::string& body) {
+  const double uptime = log_uptime_seconds();
   std::lock_guard lock(g_log_mutex);
-  std::fprintf(stderr, "[%s] %.*s: %s\n", level_name(level),
-               static_cast<int>(tag.size()), tag.data(), body.c_str());
+  if (g_sink) {
+    g_sink(level, tag, body);
+    return;
+  }
+  const std::string line = format_line(level, tag, body, uptime);
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+bool rate_limit_pass(std::string_view key, double min_interval_s, double now,
+                     std::uint64_t* suppressed) {
+  std::lock_guard lock(g_log_mutex);
+  RateState& state = g_rate_states[std::string(key)];
+  if (state.emitted_once && now - state.last_emit < min_interval_s) {
+    ++state.suppressed;
+    return false;
+  }
+  *suppressed = state.suppressed;
+  state.suppressed = 0;
+  state.last_emit = now;
+  state.emitted_once = true;
+  return true;
 }
 
 }  // namespace detail

@@ -1,10 +1,21 @@
-// Minimal leveled logger. Thread-safe; writes to stderr.
+// Minimal leveled logger. Thread-safe; writes to stderr (or an injected
+// sink).
 //
 // Usage:
 //   shredder::log(shredder::LogLevel::kInfo, "pipeline", "started {} stages", n);
 // The format string supports "{}" placeholders (streamed with operator<<).
+//
+// Output lines carry a monotonic timestamp (seconds since the process's
+// first log touch — wall clocks can step backwards mid-run) and the tag:
+//   [   12.345678] [WARN] pipeline: started 4 stages
+//
+// For hooks that can fire per buffer or per frame, log_every() rate-limits
+// per (tag, call-site message) key: at most one emitted line per
+// min_interval_s, with a "(N suppressed)" suffix accounting for the drops.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -15,13 +26,36 @@ namespace shredder {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 // Global log threshold; messages below it are dropped. Default: kWarn so
-// benches/tests stay quiet unless asked.
+// benches/tests stay quiet unless asked. Atomic: readable from any thread
+// while another adjusts it.
 LogLevel log_threshold() noexcept;
 void set_log_threshold(LogLevel level) noexcept;
+
+// Monotonic seconds since the logger was first touched in this process.
+double log_uptime_seconds() noexcept;
+
+// Test seam: when set, formatted messages go to the sink (called with the
+// logging mutex held, so concurrent writers stay serialized) instead of
+// stderr. Pass nullptr to restore stderr.
+using LogSink =
+    std::function<void(LogLevel, std::string_view tag, const std::string&)>;
+void set_log_sink(LogSink sink);
 
 namespace detail {
 
 void log_write(LogLevel level, std::string_view tag, const std::string& body);
+
+// The exact line the stderr path emits (timestamp, level, tag, body) —
+// exposed so tests can assert the format without capturing stderr.
+std::string format_line(LogLevel level, std::string_view tag,
+                        const std::string& body, double uptime_seconds);
+
+// Rate-limiter core: true if a message keyed by `key` may emit `now`
+// (seconds on the uptime clock), at most once per min_interval_s per key.
+// On emission *suppressed receives the number of drops since the last
+// emission. Exposed so tests can drive the clock explicitly.
+bool rate_limit_pass(std::string_view key, double min_interval_s, double now,
+                     std::uint64_t* suppressed);
 
 inline void format_rest(std::ostringstream& out, std::string_view fmt) {
   out << fmt;
@@ -47,6 +81,28 @@ void log(LogLevel level, std::string_view tag, std::string_view fmt,
   if (level < log_threshold()) return;
   std::ostringstream out;
   detail::format_rest(out, fmt, args...);
+  detail::log_write(level, tag, out.str());
+}
+
+// Rate-limited log: emits at most once per min_interval_s per (tag, fmt)
+// key; suppressed occurrences are counted and reported as a suffix on the
+// next emitted line. Threshold filtering happens first, so suppressed
+// counts only cover messages that would otherwise have been written.
+template <typename... Args>
+void log_every(LogLevel level, std::string_view tag, double min_interval_s,
+               std::string_view fmt, const Args&... args) {
+  if (level < log_threshold()) return;
+  std::string key(tag);
+  key += '\x1f';  // tag/fmt separator that cannot appear in either
+  key += fmt;
+  std::uint64_t suppressed = 0;
+  if (!detail::rate_limit_pass(key, min_interval_s, log_uptime_seconds(),
+                               &suppressed)) {
+    return;
+  }
+  std::ostringstream out;
+  detail::format_rest(out, fmt, args...);
+  if (suppressed > 0) out << " (" << suppressed << " suppressed)";
   detail::log_write(level, tag, out.str());
 }
 

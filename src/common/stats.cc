@@ -20,6 +20,36 @@ void Summary::add(double x) noexcept {
   max_ = std::max(max_, x);
 }
 
+void Summary::merge(const Summary& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  // Chan et al. parallel combine: m2 = m2a + m2b + delta^2 * na*nb/(na+nb).
+  m2_ += other.m2_ + delta * delta * (na * nb / (na + nb));
+  mean_ = (na * mean_ + nb * other.mean_) / (na + nb);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Summary Summary::from_window(std::uint64_t count, double sum, double min,
+                             double max) noexcept {
+  Summary s;
+  if (count == 0) return s;
+  s.count_ = count;
+  s.sum_ = sum;
+  s.mean_ = sum / static_cast<double>(count);
+  s.min_ = min;
+  s.max_ = max;
+  return s;
+}
+
 double Summary::stddev() const noexcept {
   if (count_ < 2) return 0.0;
   const double var = m2_ / (static_cast<double>(count_) - 1.0);
@@ -36,11 +66,29 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 }
 
 void Histogram::add(double x) noexcept {
+  // NaN compares false against every bound, so lower_bound would file it in
+  // the overflow bucket; count it separately and keep it out of total_ (and
+  // thus out of quantiles).
+  if (std::isnan(x)) {
+    ++nan_count_;
+    return;
+  }
   // Bucket i holds values in (bounds[i-1], bounds[i]] — bounds are inclusive
   // upper bounds.
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
   counts_[static_cast<std::size_t>(it - bounds_.begin())]++;
   ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument("Histogram::merge: bounds differ");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  nan_count_ += other.nan_count_;
 }
 
 std::uint64_t Histogram::bucket_count(std::size_t i) const {
@@ -81,6 +129,25 @@ std::string Histogram::to_string() const {
     out << ": " << counts_[i] << "\n";
   }
   return out.str();
+}
+
+std::vector<double> log_spaced_bounds(double lo, double hi,
+                                      std::size_t count) {
+  if (!(lo > 0.0) || !(hi > lo)) {
+    throw std::invalid_argument("log_spaced_bounds: need 0 < lo < hi");
+  }
+  if (count < 2) {
+    throw std::invalid_argument("log_spaced_bounds: need count >= 2");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  const double step =
+      std::log(hi / lo) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(lo * std::exp(step * static_cast<double>(i)));
+  }
+  bounds.back() = hi;  // exact endpoint despite float rounding
+  return bounds;
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers, int col_width)

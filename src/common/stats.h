@@ -13,6 +13,20 @@ class Summary {
  public:
   void add(double x) noexcept;
 
+  // Folds `other` in as if its observations had been add()ed here, using
+  // the parallel Welford combine (Chan et al.): the merged m2 stays
+  // numerically stable even when the two streams' means dwarf their
+  // spreads. Merging an empty summary (either side) is the identity.
+  // Per-thread metric shards aggregate through this at snapshot time.
+  void merge(const Summary& other) noexcept;
+
+  // A summary carrying only first-moment window data — count, sum,
+  // mean = sum/count — plus caller-provided extrema; m2 (hence stddev) is
+  // zero. Used by metric snapshot deltas, where a window's second moments
+  // are not recoverable from two cumulative snapshots.
+  static Summary from_window(std::uint64_t count, double sum, double min,
+                             double max) noexcept;
+
   std::uint64_t count() const noexcept { return count_; }
   double mean() const noexcept { return mean_; }
   double min() const noexcept { return min_; }
@@ -33,15 +47,27 @@ class Summary {
 };
 
 // Histogram with caller-supplied bucket upper bounds (last bucket is
-// unbounded). Used to inspect chunk-size distributions.
+// unbounded). Used to inspect chunk-size and latency distributions.
+//
+// NaN observations are counted separately (nan_count) instead of being
+// bucketed: every comparison against NaN is false, so lower_bound would
+// silently file them in the overflow bucket and skew quantiles.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds);
 
   void add(double x) noexcept;
+
+  // Adds `other`'s bucket counts; throws std::invalid_argument unless the
+  // two histograms have identical bounds. Per-thread metric shards
+  // aggregate through this at snapshot time.
+  void merge(const Histogram& other);
+
   std::uint64_t bucket_count(std::size_t i) const;
   std::size_t num_buckets() const noexcept { return counts_.size(); }
   std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t nan_count() const noexcept { return nan_count_; }
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
 
   // Approximate quantile (linear within buckets). q in [0,1].
   double quantile(double q) const;
@@ -52,7 +78,14 @@ class Histogram {
   std::vector<double> bounds_;  // ascending
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t nan_count_ = 0;
 };
+
+// `count` geometrically spaced bucket bounds from `lo` to `hi` inclusive —
+// the natural shape for latency histograms, whose interesting structure
+// spans orders of magnitude. Requires 0 < lo < hi and count >= 2.
+std::vector<double> log_spaced_bounds(double lo, double hi,
+                                      std::size_t count);
 
 // Table printer: fixed-width columns for figure reproduction output.
 class TablePrinter {

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 
 namespace shredder {
 
@@ -50,7 +51,7 @@ void ThreadPool::parallel_for(
     futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
     begin = end;
   }
-  for (auto& f : futures) f.get();
+  drain(futures);
 }
 
 void ThreadPool::for_each_index(std::size_t n,
@@ -60,7 +61,23 @@ void ThreadPool::for_each_index(std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(submit([&fn, i] { fn(i); }));
   }
-  for (auto& f : futures) f.get();
+  drain(futures);
+}
+
+// Tasks capture `fn` by reference, so every future must be waited on before
+// the caller's frame can unwind — rethrowing on the first failure would leave
+// queued tasks reading a dead stack slot. Wait for all, then surface the
+// first error.
+void ThreadPool::drain(std::vector<std::future<void>>& futures) {
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace shredder

@@ -44,6 +44,9 @@ class ThreadPool {
   };
 
   void worker_loop();
+  // Waits on every future (so by-reference captures stay alive until all
+  // tasks finish), then rethrows the first captured exception, if any.
+  static void drain(std::vector<std::future<void>>& futures);
 
   BoundedQueue<Task> queue_;
   std::vector<std::thread> workers_;

@@ -72,6 +72,16 @@ PipelineEngine::PipelineEngine(const PipelineEngineConfig& config,
       to_store_(config.mode != GpuMode::kBasic ? 2 : 1) {
   config_.validate();
   kparams_.coalesced = config_.mode == GpuMode::kStreamsCoalesced;
+  if (config_.registry != nullptr) {
+    obs::Registry& reg = *config_.registry;
+    m_buffers_ = &reg.counter("pipeline.buffers_total");
+    m_bytes_ = &reg.counter("pipeline.bytes_total");
+    m_reader_s_ = &reg.timing("pipeline.stage_seconds", {{"stage", "reader"}});
+    m_h2d_s_ = &reg.timing("pipeline.stage_seconds", {{"stage", "h2d"}});
+    m_kernel_s_ = &reg.timing("pipeline.stage_seconds", {{"stage", "kernel"}});
+    m_fingerprint_s_ =
+        &reg.timing("pipeline.stage_seconds", {{"stage", "fingerprint"}});
+  }
   if (pipelined()) {
     ring_.emplace(device_.spec(), config_.ring_slots, config_.slot_bytes);
     init_seconds_ = ring_->construction_cost_seconds();
@@ -166,6 +176,10 @@ bool PipelineEngine::submit(StreamBuffer buf) {
                      "PipelineEngine: eos buffers must carry no data");
   StagedItem item;
   item.data_len = buf.carry_prefix.size() + buf.data.size();
+  if (m_buffers_ != nullptr && !buf.eos) {
+    m_buffers_->add(1);
+    m_bytes_->add(buf.data.size());  // payload only; carry bytes are repeats
+  }
   if (pipelined() && !buf.eos) {
     const auto slot = lease_slot();
     if (!slot.has_value()) return false;
@@ -329,11 +343,21 @@ void PipelineEngine::kernel_loop() {
       batch.kernel_stats = kr.stats;
       batch.boundaries = std::move(kr.boundaries);
       batch.payload_end = item->meta.base_offset + item->data_len;
+      batch.sched_credit = item->meta.sched_credit;
+      batch.queue_depth = item->meta.queue_depth;
+      if (m_reader_s_ != nullptr) {
+        m_reader_s_->observe(batch.stages.reader);
+        m_h2d_s_->observe(batch.stages.transfer);
+        m_kernel_s_->observe(batch.stages.kernel);
+      }
       if (config_.fingerprint) {
         // The hash kernel reads the same resident twin, so it must finish
         // before the twin is released; the next buffer's H2D still overlaps
         // on the other twin — exactly the copy/compute overlap of §4.1.1.
         fingerprint_batch(*item, batch);
+        if (m_fingerprint_s_ != nullptr) {
+          m_fingerprint_s_->observe(batch.stages.fingerprint);
+        }
       }
       if (config_.return_payload) {
         batch.payload = std::move(item->meta.data);

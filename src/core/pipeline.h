@@ -46,6 +46,7 @@
 #include "dedup/digest.h"
 #include "gpusim/device.h"
 #include "gpusim/pinned.h"
+#include "obs/registry.h"
 #include "rabin/rabin.h"
 
 namespace shredder::core {
@@ -84,6 +85,11 @@ struct StreamBuffer {
   ByteVec data;                   // (carry +) payload
   double reader_seconds = 0;      // modelled producer time for the payload
   bool eos = false;               // end-of-stream marker; data must be empty
+  // Scheduler context stamped by the producer (the service's dispatch path)
+  // and echoed back on the BoundaryBatch, so the store thread can emit
+  // credit/queue-depth trace points at the batch's virtual completion time.
+  double sched_credit = 0;
+  std::uint32_t queue_depth = 0;
 };
 
 // Raw content boundaries of one buffer, tagged like the StreamBuffer that
@@ -112,6 +118,9 @@ struct BoundaryBatch {
   // previous buffer. Empty otherwise.
   ByteVec payload;
   std::size_t payload_carry = 0;
+  // Scheduler context echoed from the StreamBuffer (see StreamBuffer).
+  double sched_credit = 0;
+  std::uint32_t queue_depth = 0;
 };
 
 // Modelled Store-stage seconds for one batch: one D2H DMA descriptor
@@ -153,6 +162,10 @@ struct PipelineEngineConfig {
   // service's dedup chunk store) can read chunk bytes at the store stage.
   // Costs one payload-sized host copy per buffer; off by default.
   bool return_payload = false;
+  // Optional metrics registry (borrowed; must outlive the engine). The
+  // engine publishes pipeline.buffers_total / pipeline.bytes_total and the
+  // per-stage virtual-second timings. Null => no metrics, zero cost.
+  obs::Registry* registry = nullptr;
 
   void validate() const;
 };
@@ -228,6 +241,14 @@ class PipelineEngine {
   gpu::Device& device_;
   const rabin::RabinTables& tables_;
   const chunking::ChunkerConfig& chunker_;
+  // Metric handles resolved once at construction (null when no registry):
+  // submit() and the kernel thread touch them lock-free on the hot path.
+  obs::Counter* m_buffers_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Timing* m_reader_s_ = nullptr;
+  obs::Timing* m_h2d_s_ = nullptr;
+  obs::Timing* m_kernel_s_ = nullptr;
+  obs::Timing* m_fingerprint_s_ = nullptr;
   KernelParams kparams_;
   gpu::HostMemKind host_kind_;
   double init_seconds_ = 0;

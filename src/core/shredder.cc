@@ -53,8 +53,13 @@ ShredderResult Shredder::run_impl(DataSource& source, ChunkSink* sink,
   engine_cfg.kernel = config_.kernel;
   engine_cfg.fingerprint = fingerprint;
   engine_cfg.return_payload = rolling;
+  engine_cfg.registry = config_.registry;
   PipelineEngine engine(engine_cfg, *device_, tables_, config_.chunker);
   result.init_seconds = engine.init_seconds();
+  obs::Timing* m_store_s =
+      config_.registry != nullptr
+          ? &config_.registry->timing("core.store_seconds")
+          : nullptr;
 
   // Store-side state: min/max filter resolving final chunks. In fingerprint
   // mode the chunk ends arrive already resolved (the engine runs the min/max
@@ -182,6 +187,7 @@ ShredderResult Shredder::run_impl(DataSource& source, ChunkSink* sink,
     batch->stages.store = store_stage_seconds(
         config_.device, batch->boundaries.size(), pipelined,
         batch->digests.size() * sizeof(dedup::ChunkDigest));
+    if (m_store_s != nullptr) m_store_s->observe(batch->stages.store);
     if (fingerprint) {
       emit_fingerprinted(*batch);
     } else {

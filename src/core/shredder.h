@@ -56,6 +56,12 @@ struct ShredderConfig {
   // second kernel while its buffer is still resident, and the result carries
   // one digest per chunk (bit-identical to host dedup::Sha256).
   bool fingerprint_on_device = false;
+  // Optional metrics registry (borrowed; must outlive the Shredder's runs).
+  // Forwarded to the pipeline engine, which publishes pipeline.* counters
+  // and stage timings; the store stage adds core.store_seconds. Virtual-time
+  // *tracing* runs through the service path (a 1-tenant ChunkingService is
+  // the single-stream trace) — see docs/observability.md.
+  obs::Registry* registry = nullptr;
 
   void validate() const;
 };

@@ -1,0 +1,187 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace shredder::obs {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// Microsecond timestamps with nanosecond resolution: plenty for virtual
+// times, compact enough that big traces stay loadable.
+void append_us(std::string& out, double us) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  out += buf;
+}
+
+constexpr double kSecondsToUs = 1e6;
+
+}  // namespace
+
+int Tracer::track_id_locked(const std::string& track) {
+  const auto it = track_ids_.find(track);
+  if (it != track_ids_.end()) return it->second;
+  tracks_.push_back(track);
+  const int tid = static_cast<int>(tracks_.size());
+  track_ids_.emplace(track, tid);
+  return tid;
+}
+
+void Tracer::span(const std::string& track, const std::string& name,
+                  double start_s, double end_s, const Labels& args) {
+  if (!enabled()) return;
+  Event ev;
+  ev.ph = 'X';
+  ev.name = name;
+  ev.ts_us = start_s * kSecondsToUs;
+  ev.dur_us = std::max(0.0, (end_s - start_s) * kSecondsToUs);
+  ev.args = args;
+  std::lock_guard lock(mu_);
+  ev.tid = track_id_locked(track);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::instant(const std::string& track, const std::string& name,
+                     double t_s, const Labels& args) {
+  if (!enabled()) return;
+  Event ev;
+  ev.ph = 'i';
+  ev.name = name;
+  ev.ts_us = t_s * kSecondsToUs;
+  ev.args = args;
+  std::lock_guard lock(mu_);
+  ev.tid = track_id_locked(track);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::counter(const std::string& track, const std::string& name,
+                     double t_s, double value) {
+  if (!enabled()) return;
+  Event ev;
+  ev.ph = 'C';
+  ev.name = name;
+  ev.ts_us = t_s * kSecondsToUs;
+  ev.value = value;
+  std::lock_guard lock(mu_);
+  ev.tid = track_id_locked(track);
+  events_.push_back(std::move(ev));
+}
+
+double Tracer::track_busy(const std::string& track) const {
+  std::lock_guard lock(mu_);
+  const auto it = track_ids_.find(track);
+  if (it == track_ids_.end()) return 0.0;
+  double busy_us = 0;
+  for (const auto& ev : events_) {
+    if (ev.ph == 'X' && ev.tid == it->second) busy_us += ev.dur_us;
+  }
+  return busy_us / kSecondsToUs;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::to_json() const {
+  std::lock_guard lock(mu_);
+  // Stable export: events sorted by (timestamp, record order). Sort an index
+  // so ties keep insertion order without needing a stable comparison on the
+  // events themselves.
+  std::vector<std::size_t> order(events_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return events_[a].ts_us < events_[b].ts_us;
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  // Thread-name metadata: one row per track, in creation order, so Perfetto
+  // shows "engine/h2d" instead of "Thread 3".
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(i + 1);
+    out += ",\"args\":{\"name\":";
+    append_json_string(out, tracks_[i]);
+    out += "}}";
+  }
+  for (const std::size_t i : order) {
+    const Event& ev = events_[i];
+    comma();
+    out += "{\"name\":";
+    append_json_string(out, ev.name);
+    out += ",\"ph\":\"";
+    out += ev.ph;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(ev.tid);
+    out += ",\"ts\":";
+    append_us(out, ev.ts_us);
+    if (ev.ph == 'X') {
+      out += ",\"dur\":";
+      append_us(out, ev.dur_us);
+    }
+    if (ev.ph == 'i') out += ",\"s\":\"t\"";
+    if (ev.ph == 'C') {
+      out += ",\"args\":{\"value\":";
+      append_us(out, ev.value);
+      out += '}';
+    } else if (!ev.args.empty()) {
+      out += ",\"args\":{";
+      for (std::size_t k = 0; k < ev.args.size(); ++k) {
+        if (k > 0) out += ',';
+        append_json_string(out, ev.args[k].first);
+        out += ':';
+        append_json_string(out, ev.args[k].second);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void Tracer::write_json(const std::string& path) const {
+  const std::string json = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("Tracer: cannot open " + path + " for writing");
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int rc = std::fclose(f);
+  if (written != json.size() || rc != 0) {
+    throw std::runtime_error("Tracer: short write to " + path);
+  }
+}
+
+}  // namespace shredder::obs

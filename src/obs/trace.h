@@ -1,0 +1,98 @@
+// Virtual-time pipeline tracer with Chrome trace-event JSON export
+// (docs/observability.md has the track/span mapping and a Perfetto walkthrough).
+//
+// Everything performance-shaped in this repo happens in *virtual* time —
+// GpuTimeline engine clocks, the transport's event loop — so a tracer that
+// sampled wall clocks would record the simulator, not the simulated system.
+// Tracer instead takes explicit virtual timestamps from the code that
+// already computes them: the service emits one span per pipeline stage per
+// buffer using the exact start/finish the timeline assigned (so per-track
+// busy time equals GpuTimeline::engine_busy by construction), and the
+// transport emits one span per wire transmission from its busy-until clocks.
+//
+// Export is the Chrome trace-event format (`{"traceEvents":[...]}`), which
+// Perfetto (https://ui.perfetto.dev) and chrome://tracing load directly:
+// each named track becomes a thread row, spans are "X" complete events,
+// scheduler/fault marks are "i" instants, and credit/queue-depth series are
+// "C" counter events. Timestamps are microseconds of virtual time.
+//
+// Thread-safe; every record call is one short critical section appending to
+// a vector. Tracing is opt-in per run (consumers hold a Tracer* that is null
+// when off), so the hot path's disabled cost is a pointer test.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/registry.h"  // Labels
+
+namespace shredder::obs {
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Disabling turns every record call into a relaxed load + branch.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // A span [start_s, end_s) of virtual time on the named track (e.g.
+  // "engine/h2d", "tenant/alpha"). Tracks are created on first use; spans
+  // may arrive in any time order (export sorts). end_s < start_s clamps to
+  // a zero-duration span at start_s.
+  void span(const std::string& track, const std::string& name, double start_s,
+            double end_s, const Labels& args = {});
+
+  // A zero-duration mark (a drop, a stall onset, an eos).
+  void instant(const std::string& track, const std::string& name, double t_s,
+               const Labels& args = {});
+
+  // One point of a numeric time series (scheduler credit, queue depth);
+  // Perfetto renders same-named counter events as a stepped graph.
+  void counter(const std::string& track, const std::string& name, double t_s,
+               double value);
+
+  // Sum of span durations recorded on `track` (0 for unknown tracks) — the
+  // cross-check the obs bench runs against GpuTimeline::engine_busy.
+  double track_busy(const std::string& track) const;
+
+  std::size_t event_count() const;
+
+  // Chrome trace-event JSON: thread-name metadata per track, then all
+  // events sorted by timestamp. Loadable as-is in Perfetto.
+  std::string to_json() const;
+  // Writes to_json() to `path`; throws std::runtime_error on I/O failure.
+  void write_json(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph = 'X';  // X = span, i = instant, C = counter
+    int tid = 0;
+    std::string name;
+    double ts_us = 0;
+    double dur_us = 0;   // spans only
+    double value = 0;    // counters only
+    Labels args;
+  };
+
+  int track_id_locked(const std::string& track);
+
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::vector<std::string> tracks_;  // index = tid - 1
+  std::unordered_map<std::string, int> track_ids_;
+  std::atomic<bool> enabled_{true};
+};
+
+}  // namespace shredder::obs

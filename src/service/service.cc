@@ -42,6 +42,24 @@ ChunkingService::ChunkingService(ServiceConfig config)
       timeline_(1) {
   config_.validate();
   device_ = std::make_unique<gpu::Device>(config_.device, config_.sim_threads);
+  if (config_.registry != nullptr) {
+    registry_ = config_.registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  tracer_ = config_.tracer;
+  m_bytes_ingested_ = &registry_->counter("service.bytes_ingested_total");
+  m_buffers_dispatched_ =
+      &registry_->counter("service.buffers_dispatched_total");
+  m_transport_reports_ =
+      &registry_->counter("service.transport_reports_total");
+  m_transport_degraded_ =
+      &registry_->counter("service.transport_degraded_total");
+  m_transport_retx_ =
+      &registry_->counter("service.transport_retransmits_total");
+  m_transport_repairs_ =
+      &registry_->counter("service.transport_repairs_total");
   core::PipelineEngineConfig engine_cfg;
   engine_cfg.mode = config_.mode;
   engine_cfg.slot_bytes = config_.buffer_bytes + config_.chunker.window - 1;
@@ -50,6 +68,7 @@ ChunkingService::ChunkingService(ServiceConfig config)
   engine_cfg.fingerprint = config_.fingerprint_on_device;
   // Storing unique payloads needs the staged bytes back at the store stage.
   engine_cfg.return_payload = config_.dedup_on_store;
+  engine_cfg.registry = registry_;
   engine_ = std::make_unique<core::PipelineEngine>(engine_cfg, *device_,
                                                    tables_, config_.chunker);
   if (config_.dedup_on_store) {
@@ -163,6 +182,7 @@ void ChunkingService::enqueue_payload(Session& s, ByteVec payload) {
   pending.reader_seconds =
       static_cast<double>(payload.size()) / s.channel_bw;
   pending.payload = std::move(payload);
+  m_bytes_ingested_->add(pending.payload.size());
   if (!s.queue->push(std::move(pending))) {
     throw std::runtime_error("ChunkingService: stream closed during submit");
   }
@@ -312,6 +332,13 @@ void ChunkingService::dispatch(Session& s, bool send_eos) {
   ByteVec& payload = pending->payload;
   sb.base_offset = s.dispatched_bytes - s.carry.size();
   sb.reader_seconds = pending->reader_seconds;
+  // Scheduler context rides with the buffer so the store thread can stamp
+  // credit/queue-depth trace points at the buffer's virtual time. Both are
+  // scheduler-thread state: credit was charged in pick_locked, the queue
+  // only shrinks from this thread.
+  sb.sched_credit = s.credit;
+  sb.queue_depth = static_cast<std::uint32_t>(s.queue->size());
+  m_buffers_dispatched_->add(1);
   // Next buffer's window context: the last w-1 staged bytes, computed
   // before carry and payload are moved into the work item.
   const std::size_t keep = std::min(config_.chunker.window - 1,
@@ -377,6 +404,8 @@ void ChunkingService::store_loop() {
       // duplicates add a reference to the stored copy.
       const auto emit_fingerprinted = [&] {
         const double index_t0 = index_ ? index_->virtual_seconds() : 0.0;
+        const dedup::IndexStats index_before =
+            index_ ? index_->stats() : dedup::IndexStats{};
         core::for_each_fingerprinted_chunk(
             *batch, s->last_end,
             [&](const chunking::Chunk& c, const dedup::ChunkDigest& d) {
@@ -409,6 +438,7 @@ void ChunkingService::store_loop() {
             });
         if (index_) {
           s->report.index_seconds += index_->virtual_seconds() - index_t0;
+          publish_index_delta(index_before);
         }
       };
       const std::size_t batch_first = s->chunks.size();
@@ -429,14 +459,25 @@ void ChunkingService::store_loop() {
               s->tl_base + static_cast<std::size_t>(batch->seq % 2),
               gpu::EngineKind::kCopyD2H, d2h);
           s->report.stage_totals.store += d2h;
+          if (tracer_ != nullptr) {
+            tracer_->span("engine/d2h", "trailing_digest_d2h",
+                          s->last_finish_v - d2h, s->last_finish_v,
+                          {{"tenant", s->report.name},
+                           {"seq", std::to_string(batch->seq)}});
+          }
         }
         emit_fingerprinted();  // the stream's trailing chunk closes here
+        if (tracer_ != nullptr) {
+          tracer_->instant("tenant/" + s->report.name, "eos",
+                           s->last_finish_v);
+        }
         finalize_session(*s, batch->payload_end, batch_first);
         continue;
       }
       batch->stages.store = core::store_stage_seconds(
           config_.device, batch->boundaries.size(), engine_->pipelined(),
           batch->digests.size() * sizeof(dedup::ChunkDigest));
+      const double index_seconds_before = s->report.index_seconds;
       if (config_.fingerprint_on_device) {
         emit_fingerprinted();
       } else {
@@ -461,14 +502,20 @@ void ChunkingService::store_loop() {
       if (s->report.n_buffers == 0) {
         s->first_start_v = h2d_finish - batch->stages.transfer;
       }
-      timeline_.enqueue(tl_stream, gpu::EngineKind::kCompute,
-                        batch->stages.kernel);
+      const double kernel_finish = timeline_.enqueue(
+          tl_stream, gpu::EngineKind::kCompute, batch->stages.kernel);
+      double fp_finish = kernel_finish;
       if (batch->stages.fingerprint > 0) {
-        timeline_.enqueue(tl_stream, gpu::EngineKind::kCompute,
-                          batch->stages.fingerprint);
+        fp_finish = timeline_.enqueue(tl_stream, gpu::EngineKind::kCompute,
+                                      batch->stages.fingerprint);
       }
       s->last_finish_v = timeline_.enqueue(
           tl_stream, gpu::EngineKind::kCopyD2H, batch->stages.store);
+      if (tracer_ != nullptr) {
+        trace_batch(*s, *batch, h2d_finish, kernel_finish, fp_finish,
+                    s->last_finish_v,
+                    s->report.index_seconds - index_seconds_before);
+      }
 
       auto& r = s->report;
       r.n_buffers += 1;
@@ -495,6 +542,60 @@ void ChunkingService::store_loop() {
     sched_cv_.notify_all();
     complete_cv_.notify_all();
   }
+}
+
+void ChunkingService::trace_batch(const Session& s,
+                                  const core::BoundaryBatch& batch,
+                                  double h2d_finish, double kernel_finish,
+                                  double fp_finish, double d2h_finish,
+                                  double index_seconds) {
+  const obs::Labels args{{"tenant", s.report.name},
+                         {"seq", std::to_string(batch.seq)}};
+  // Engine tracks: exact [finish - duration, finish) intervals from the
+  // timeline, so summed track busy == GpuTimeline::engine_busy.
+  const double h2d_start = h2d_finish - batch.stages.transfer;
+  tracer_->span("engine/h2d", "h2d", h2d_start, h2d_finish, args);
+  tracer_->span("engine/compute", "chunk_kernel",
+                kernel_finish - batch.stages.kernel, kernel_finish, args);
+  if (batch.stages.fingerprint > 0) {
+    tracer_->span("engine/compute", "fingerprint_kernel",
+                  fp_finish - batch.stages.fingerprint, fp_finish, args);
+  }
+  tracer_->span("engine/d2h", "store_d2h", d2h_finish - batch.stages.store,
+                d2h_finish, args);
+  // Tenant track: the client-side produce interval and the buffer's device
+  // residency (H2D start through boundary readback).
+  const std::string tenant_track = "tenant/" + s.report.name;
+  tracer_->span(tenant_track, "reader", s.ready_v - batch.stages.reader,
+                s.ready_v, args);
+  tracer_->span(tenant_track, "buffer", h2d_start, d2h_finish, args);
+  // Store-side index probing: modelled time that runs after the digests
+  // land on the host, not on a device engine.
+  if (index_seconds > 0) {
+    tracer_->span("index", "probe", d2h_finish, d2h_finish + index_seconds,
+                  args);
+  }
+  // Scheduler series, stamped when the buffer reached the device: credit
+  // after the dispatch charge, queue depth right after the pop.
+  const std::string sched_track = "sched/" + s.report.name;
+  tracer_->counter(sched_track, "credit", h2d_start, batch.sched_credit);
+  tracer_->counter(sched_track, "queue_depth", h2d_start,
+                   static_cast<double>(batch.queue_depth));
+}
+
+void ChunkingService::publish_index_delta(const dedup::IndexStats& before) {
+  const dedup::IndexStats now = index_->stats();
+  obs::Registry& reg = *registry_;
+  reg.counter("index.probes_total").add(now.probes - before.probes);
+  reg.counter("index.inserts_total").add(now.inserts - before.inserts);
+  reg.counter("index.signature_hits_total")
+      .add(now.signature_hits - before.signature_hits);
+  reg.counter("index.false_signature_hits_total")
+      .add(now.false_signature_hits - before.false_signature_hits);
+  reg.counter("index.flash_reads_total")
+      .add(now.flash_reads - before.flash_reads);
+  reg.counter("index.cache_hits_total")
+      .add(now.cache_hits - before.cache_hits);
 }
 
 // One ChunkBatchView to the session's sink: the chunks appended since
@@ -614,9 +715,28 @@ ServiceReport ChunkingService::shutdown() {
     std::lock_guard tlock(transport_mu_);
     report.transport.assign(transport_health_.begin(),
                             transport_health_.end());
-    report.degraded_agents = degraded_reports_;
   }
+  report.health = health();
+  report.degraded_agents =
+      static_cast<std::size_t>(report.health.degraded_agents);
   return report;
+}
+
+ServiceHealth ChunkingService::health() const {
+  ServiceHealth h;
+  {
+    std::lock_guard lock(mu_);
+    h.open_sessions = open_sessions_;
+  }
+  const obs::Registry& reg = *registry_;
+  h.buffers_dispatched = reg.counter_sum("service.buffers_dispatched_total");
+  h.bytes_ingested = reg.counter_sum("service.bytes_ingested_total");
+  h.transport_reports = reg.counter_sum("service.transport_reports_total");
+  h.degraded_agents = reg.counter_sum("service.transport_degraded_total");
+  h.transport_retransmits =
+      reg.counter_sum("service.transport_retransmits_total");
+  h.transport_repairs = reg.counter_sum("service.transport_repairs_total");
+  return h;
 }
 
 void ChunkingService::set_tenant_transport(const std::string& tenant,
@@ -634,8 +754,13 @@ std::optional<TenantTransport> ChunkingService::tenant_transport(
 }
 
 void ChunkingService::report_transport_health(TenantTransportHealth health) {
+  // The registry is the single source of truth for the verdict counters;
+  // health()/shutdown() read them back instead of a parallel tally.
+  m_transport_reports_->add(1);
+  if (health.degraded) m_transport_degraded_->add(1);
+  m_transport_retx_->add(health.retransmits);
+  m_transport_repairs_->add(health.repairs);
   std::lock_guard lock(transport_mu_);
-  if (health.degraded) ++degraded_reports_;
   transport_health_.push_back(std::move(health));
   while (transport_health_.size() > config_.transport_health_capacity) {
     transport_health_.pop_front();

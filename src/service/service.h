@@ -57,6 +57,8 @@
 #include "gpusim/device.h"
 #include "gpusim/spec.h"
 #include "gpusim/timeline.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "rabin/rabin.h"
 
 namespace shredder::service {
@@ -99,6 +101,18 @@ struct ServiceConfig {
   // Bound on the retained per-tenant transport health reports (oldest
   // evicted); see report_transport_health below.
   std::size_t transport_health_capacity = 1024;
+  // Optional metrics registry (borrowed; must outlive the service). Null =>
+  // the service owns a private one, reachable via registry(). The service
+  // publishes service.* counters, forwards the registry to its pipeline
+  // engine (pipeline.* metrics) and aggregates transport-health verdicts
+  // through it (see ServiceHealth).
+  obs::Registry* registry = nullptr;
+  // Optional virtual-time tracer (borrowed). When set, the store thread
+  // emits one span per pipeline stage per buffer on the shared engine
+  // tracks ("engine/h2d", "engine/compute", "engine/d2h") and per-tenant
+  // tracks, plus scheduler credit/queue-depth counter series — Chrome
+  // trace-event exportable via obs::Tracer::to_json (docs/observability.md).
+  obs::Tracer* tracer = nullptr;
 
   void validate() const;
 };
@@ -132,6 +146,24 @@ struct TenantTransportHealth {
   double stall_seconds = 0;       // sender time spent window-blocked
   double link_seconds = 0;        // transport makespan
   bool degraded = false;
+};
+
+// Unified live-health roll-up, readable at any time via
+// ChunkingService::health(). Every count is aggregated from the metrics
+// registry (summed across label sets with Registry::counter_sum), so the
+// verdict and the exported metrics can never disagree. Absorbs the old
+// ad-hoc degraded_agents tally: `degraded_agents` here and in the shutdown
+// report both read the service.transport_degraded_total counter.
+struct ServiceHealth {
+  std::size_t open_sessions = 0;
+  std::uint64_t buffers_dispatched = 0;   // service.buffers_dispatched_total
+  std::uint64_t bytes_ingested = 0;       // service.bytes_ingested_total
+  std::uint64_t transport_reports = 0;    // service.transport_reports_total
+  std::uint64_t degraded_agents = 0;      // service.transport_degraded_total
+  std::uint64_t transport_retransmits = 0;  // ...transport_retransmits_total
+  std::uint64_t transport_repairs = 0;      // ...transport_repairs_total
+
+  bool healthy() const noexcept { return degraded_agents == 0; }
 };
 
 // Legacy per-chunk upcall types, shared with core (see core/sink.h).
@@ -214,6 +246,8 @@ struct ServiceReport {
   // how many of them crossed a degraded threshold.
   std::vector<TenantTransportHealth> transport;
   std::size_t degraded_agents = 0;
+  // Final registry-backed health roll-up (same counters health() reads).
+  ServiceHealth health;
 };
 
 class ChunkingService {
@@ -268,6 +302,13 @@ class ChunkingService {
       const std::string& tenant) const;
   void report_transport_health(TenantTransportHealth health);
   std::vector<TenantTransportHealth> transport_health() const;
+
+  // The metrics registry the service publishes into: the configured one, or
+  // the service-owned fallback. Valid for the service's lifetime.
+  obs::Registry& registry() noexcept { return *registry_; }
+  // Live health roll-up aggregated from the registry; thread-safe, callable
+  // at any point of the service lifecycle.
+  ServiceHealth health() const;
 
   const ServiceConfig& config() const noexcept { return config_; }
   const rabin::RabinTables& tables() const noexcept { return tables_; }
@@ -332,6 +373,16 @@ class ChunkingService {
   void dispatch(Session& s, bool send_eos);
   void scheduler_loop();
   void store_loop();
+  // Emits one buffer's stage spans: engine tracks use the exact start/finish
+  // the timeline assigned (so Tracer::track_busy("engine/X") equals
+  // GpuTimeline::engine_busy by construction), tenant tracks get the
+  // client-side reader span and the device-residency span, and the sched
+  // track gets credit/queue-depth counter points. Store thread only.
+  void trace_batch(const Session& s, const core::BoundaryBatch& batch,
+                   double h2d_finish, double kernel_finish, double fp_finish,
+                   double d2h_finish, double index_seconds);
+  // Adds the IndexStats movement since `before` to the index.* counters.
+  void publish_index_delta(const dedup::IndexStats& before);
   void deliver_batch(Session& s, std::size_t first, bool eos);
   void finalize_session(Session& s, std::uint64_t total_bytes,
                         std::size_t batch_first);
@@ -339,6 +390,18 @@ class ChunkingService {
   ServiceConfig config_;
   rabin::RabinTables tables_;
   std::unique_ptr<gpu::Device> device_;
+  // Observability: registry_ always points at a live registry (config's or
+  // the owned fallback); tracer_ may be null. Hot-path counters are resolved
+  // once here, not per buffer.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* m_bytes_ingested_ = nullptr;
+  obs::Counter* m_buffers_dispatched_ = nullptr;
+  obs::Counter* m_transport_reports_ = nullptr;
+  obs::Counter* m_transport_degraded_ = nullptr;
+  obs::Counter* m_transport_retx_ = nullptr;
+  obs::Counter* m_transport_repairs_ = nullptr;
   std::unique_ptr<core::PipelineEngine> engine_;
   // Shared inline-dedup state, store thread only (dedup_on_store mode).
   std::unique_ptr<dedup::IndexBackend> index_;
@@ -351,9 +414,8 @@ class ChunkingService {
   mutable std::mutex transport_mu_;
   std::unordered_map<std::string, TenantTransport> tenant_transports_;
   std::deque<TenantTransportHealth> transport_health_;
-  std::size_t degraded_reports_ = 0;
 
-  std::mutex mu_;  // sessions map, scheduler wakeups, completion, timeline
+  mutable std::mutex mu_;  // sessions map, scheduler wakeups, completion
   std::condition_variable sched_cv_;
   std::condition_variable complete_cv_;
   std::unordered_map<StreamId, std::unique_ptr<Session>> sessions_;

@@ -337,6 +337,91 @@ TEST(Timeline, AddStreamGrowsDynamically) {
   EXPECT_DOUBLE_EQ(tl.stream_time(s), 2.0);
 }
 
+// --- Timeline invariants under randomized load ---
+
+TEST(TimelineInvariants, EngineBusyNeverExceedsMakespan) {
+  // Busy time is a subset of [0, makespan] for every engine, whatever the
+  // interleaving; randomized load (deterministic seed) probes interleavings
+  // the handwritten schedules above never reach.
+  shredder::SplitMix64 rng(42);
+  GpuTimeline tl(4);
+  const EngineKind kinds[] = {EngineKind::kCopyH2D, EngineKind::kCopyD2H,
+                              EngineKind::kCompute};
+  double total = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto stream = static_cast<std::size_t>(rng.next_below(4));
+    const EngineKind engine = kinds[rng.next_below(3)];
+    const double dur = rng.next_double() * 2.0;
+    const double ready = rng.next_double() * 5.0;
+    const double finish = tl.enqueue(stream, engine, dur, ready);
+    EXPECT_GE(finish, ready + dur);
+    EXPECT_LE(finish, tl.makespan());
+    total += dur;
+  }
+  double busy_sum = 0;
+  for (const EngineKind k : kinds) {
+    EXPECT_LE(tl.engine_busy(k), tl.makespan());
+    EXPECT_GE(tl.engine_busy(k), 0.0);
+    busy_sum += tl.engine_busy(k);
+  }
+  // Every enqueued second lands on exactly one engine.
+  EXPECT_NEAR(busy_sum, total, 1e-9);
+  // Three engines can't pack more than 3x the makespan.
+  EXPECT_LE(busy_sum, 3.0 * tl.makespan() + 1e-9);
+}
+
+TEST(TimelineInvariants, OneEngineSerializesAcrossStreams) {
+  // All work on a single engine must serialize even from distinct streams:
+  // successive finish times are spaced by at least the later op's duration,
+  // and the engine ends exactly sum-of-durations busy with no ready gaps.
+  shredder::SplitMix64 rng(7);
+  GpuTimeline tl(3);
+  double prev_finish = 0;
+  double total = 0;
+  for (int i = 0; i < 100; ++i) {
+    const double dur = 0.1 + rng.next_double();
+    const double finish = tl.enqueue(static_cast<std::size_t>(rng.next_below(3)),
+                                     EngineKind::kCompute, dur);
+    EXPECT_GE(finish, prev_finish + dur - 1e-12);
+    prev_finish = finish;
+    total += dur;
+  }
+  EXPECT_DOUBLE_EQ(tl.engine_busy(EngineKind::kCompute), total);
+  EXPECT_DOUBLE_EQ(tl.makespan(), total);  // back-to-back, no idle gaps
+}
+
+TEST(TimelineInvariants, AddStreamMidRunQueuesBehindEngineOnly) {
+  GpuTimeline tl(1);
+  tl.enqueue(0, EngineKind::kCompute, 4.0);  // compute busy until t=4
+  // A stream opened mid-run has no FIFO history: it waits only for the
+  // engine. On the idle h2d engine it starts immediately ...
+  const std::size_t s = tl.add_stream();
+  EXPECT_DOUBLE_EQ(tl.enqueue(s, EngineKind::kCopyH2D, 1.0), 1.0);
+  // ... and on the busy compute engine it starts when the engine frees
+  // (t=4, not at its own stream frontier t=1).
+  EXPECT_DOUBLE_EQ(tl.enqueue(s, EngineKind::kCompute, 0.5), 4.5);
+  // A third stream added after all that still sees only engine frontiers:
+  // h2d freed at t=1, unaffected by the other streams' compute backlog.
+  const std::size_t s2 = tl.add_stream();
+  EXPECT_DOUBLE_EQ(tl.enqueue(s2, EngineKind::kCopyH2D, 0.25), 1.25);
+  EXPECT_EQ(tl.num_streams(), 3u);
+}
+
+TEST(TimelineInvariants, EarliestStartGapIsIdleNotBusy) {
+  // The wait for a producer (earliest_start) delays the op but must not be
+  // booked as engine busy time — utilisation reports would otherwise count
+  // starvation as work.
+  GpuTimeline tl(1);
+  tl.enqueue(0, EngineKind::kCompute, 2.0, 10.0);
+  EXPECT_DOUBLE_EQ(tl.makespan(), 12.0);
+  EXPECT_DOUBLE_EQ(tl.engine_busy(EngineKind::kCompute), 2.0);
+  // A follow-up with an already-past ready time starts right at the
+  // stream/engine frontier; busy accumulates only the durations.
+  tl.enqueue(0, EngineKind::kCompute, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(tl.makespan(), 13.0);
+  EXPECT_DOUBLE_EQ(tl.engine_busy(EngineKind::kCompute), 3.0);
+}
+
 // --- pipeline_makespan (Figure 9 mechanics) ---
 
 TEST(PipelineMakespan, SingleSlotIsSerial) {
