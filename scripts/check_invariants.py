@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: module layering + virtual-time wall-clock ban.
+
+Run first in CI (scripts/ci.sh) so structural violations fail before any
+compile time is spent. Two invariant families:
+
+1. Module DAG. Every `#include "module/..."` in src/<module>/ must point at a
+   module the owner is allowed to depend on. The allowed direct dependencies
+   mirror the target_link_libraries graph in CMakeLists.txt:
+
+       common <- {obs, rabin, gpusim}
+       common, rabin <- chunking
+       chunking <- dedup
+       {rabin, chunking, gpusim, dedup, obs} <- core
+       core <- service
+       {core, dedup, service} <- backup
+       {core, dedup} <- {inchdfs, redelim}
+
+   The checker takes the transitive closure, so `backup` including
+   "rabin/rabin.h" is fine (via core) but `common` including anything above
+   itself — or any cycle — is flagged. The direct map itself is verified
+   acyclic on every run.
+
+2. Wall-clock ban. Virtual-time code (src/core, src/gpusim, src/backup,
+   src/service, src/obs) must not read the host clock: simulated timestamps
+   come from the GpuTimeline / transport event loops, and a stray
+   steady_clock::now() silently corrupts virtual-time accounting in a way no
+   unit test catches. Banned tokens: steady_clock, system_clock,
+   high_resolution_clock, clock_gettime, gettimeofday, and word-boundary
+   `time(` (so gpusim's stream_time(...) does not trip it). The only code
+   allowed to touch the host clock is common/timer (the Stopwatch used for
+   wall_seconds reporting) and common/logging (log line timestamps) — both
+   outside the scanned directories, listed here as an explicit allowlist so
+   moving them would still pass.
+
+Exit status: 0 = clean, 1 = violations (one line each on stderr),
+2 = usage/internal error. `--self-test` runs the checker over the fixture
+trees in tests/lint_fixtures/ and verifies each violation kind is caught.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Direct module dependencies, mirroring CMakeLists.txt.
+DIRECT_DEPS: dict[str, set[str]] = {
+    "common": set(),
+    "obs": {"common"},
+    "rabin": {"common"},
+    "chunking": {"common", "rabin"},
+    "gpusim": {"common"},
+    "dedup": {"common", "chunking"},
+    "core": {"common", "rabin", "chunking", "gpusim", "dedup", "obs"},
+    "service": {"core"},
+    "backup": {"core", "dedup", "service"},
+    "inchdfs": {"core", "dedup"},
+    "redelim": {"core", "dedup"},
+}
+
+# Directories under src/ whose code runs on virtual time.
+VIRTUAL_TIME_MODULES = ("core", "gpusim", "backup", "service", "obs")
+
+# Files allowed to read the host clock (relative to src/).
+WALL_CLOCK_ALLOWLIST = (
+    "common/timer.h",
+    "common/timer.cc",
+    "common/logging.cc",
+)
+
+WALL_CLOCK_PATTERNS = [
+    re.compile(r"\bsteady_clock\b"),
+    re.compile(r"\bsystem_clock\b"),
+    re.compile(r"\bhigh_resolution_clock\b"),
+    re.compile(r"\bclock_gettime\b"),
+    re.compile(r"\bgettimeofday\b"),
+    # Word boundary: matches `time(...)` / `::time(0)` but not stream_time(.
+    re.compile(r"(?<![A-Za-z0-9_])time\s*\("),
+]
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+SOURCE_SUFFIXES = (".h", ".hpp", ".cc", ".cpp")
+
+
+def transitive_closure(direct: dict[str, set[str]]) -> dict[str, set[str]]:
+    closure = {m: set(d) for m, d in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for m in closure:
+            extra = set()
+            for dep in closure[m]:
+                extra |= closure.get(dep, set())
+            if not extra <= closure[m]:
+                closure[m] |= extra
+                changed = True
+    return closure
+
+
+def assert_acyclic(direct: dict[str, set[str]]) -> None:
+    closure = transitive_closure(direct)
+    for m, deps in closure.items():
+        if m in deps:
+            raise RuntimeError(f"dependency map has a cycle through '{m}'")
+
+
+def strip_comments(line: str) -> str:
+    # Good enough for token scanning: drop // comments. (Block comments in
+    # this codebase never wrap banned tokens; a false negative there would
+    # be caught in review, a false positive never fires.)
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def check_layering(src: Path) -> list[str]:
+    errors = []
+    allowed = transitive_closure(DIRECT_DEPS)
+    for module in sorted(DIRECT_DEPS):
+        mdir = src / module
+        if not mdir.is_dir():
+            continue
+        ok = allowed[module] | {module}
+        for path in sorted(mdir.rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+                continue
+            for lineno, line in enumerate(
+                    path.read_text(errors="replace").splitlines(), 1):
+                m = INCLUDE_RE.match(line)
+                if not m:
+                    continue
+                target = m.group(1).split("/")[0]
+                if target in DIRECT_DEPS and target not in ok:
+                    rel = path.relative_to(src.parent)
+                    errors.append(
+                        f"{rel}:{lineno}: layering violation: module "
+                        f"'{module}' may not include \"{m.group(1)}\" "
+                        f"(allowed: {', '.join(sorted(ok))})")
+    return errors
+
+
+def check_wall_clock(src: Path) -> list[str]:
+    errors = []
+    for module in VIRTUAL_TIME_MODULES:
+        mdir = src / module
+        if not mdir.is_dir():
+            continue
+        for path in sorted(mdir.rglob("*")):
+            if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+                continue
+            rel_src = path.relative_to(src).as_posix()
+            if rel_src in WALL_CLOCK_ALLOWLIST:
+                continue
+            for lineno, raw in enumerate(
+                    path.read_text(errors="replace").splitlines(), 1):
+                line = strip_comments(raw)
+                for pat in WALL_CLOCK_PATTERNS:
+                    if pat.search(line):
+                        rel = path.relative_to(src.parent)
+                        errors.append(
+                            f"{rel}:{lineno}: wall-clock call "
+                            f"('{pat.pattern}') in virtual-time code: "
+                            f"{raw.strip()}")
+                        break
+    return errors
+
+
+def run_checks(root: Path) -> list[str]:
+    src = root / "src"
+    if not src.is_dir():
+        raise RuntimeError(f"no src/ under {root}")
+    assert_acyclic(DIRECT_DEPS)
+    return check_layering(src) + check_wall_clock(src)
+
+
+def self_test(repo_root: Path) -> int:
+    fixtures = repo_root / "tests" / "lint_fixtures"
+    failures = []
+
+    def expect(name: str, min_errors: int, needle: str = "") -> None:
+        errors = run_checks(fixtures / name)
+        if min_errors == 0 and errors:
+            failures.append(f"{name}: expected clean, got: {errors}")
+        elif min_errors > 0:
+            if len(errors) < min_errors:
+                failures.append(
+                    f"{name}: expected >= {min_errors} errors, got {errors}")
+            elif needle and not any(needle in e for e in errors):
+                failures.append(f"{name}: no error mentions '{needle}': {errors}")
+
+    expect("clean", 0)
+    expect("bad_layering", 1, "layering violation")
+    expect("bad_clock", 1, "wall-clock call")
+
+    # The word-boundary regex must not flag identifiers ending in `time`.
+    clean_errors = run_checks(fixtures / "clean")
+    if any("stream_time" in e for e in clean_errors):
+        failures.append(f"clean: stream_time( false positive: {clean_errors}")
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print("check_invariants.py self-test: all fixtures behave as expected")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path, default=None,
+                    help="repo root to scan (default: this script's repo)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the checker over tests/lint_fixtures/")
+    args = ap.parse_args()
+
+    repo_root = Path(__file__).resolve().parent.parent
+    if args.self_test:
+        return self_test(repo_root)
+
+    root = args.root if args.root is not None else repo_root
+    try:
+        errors = run_checks(root)
+    except RuntimeError as e:
+        print(f"check_invariants.py: {e}", file=sys.stderr)
+        return 2
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"check_invariants.py: {len(errors)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("check_invariants.py: module DAG and wall-clock invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
-# CI entry point: strict build + full test suite, then an ASan/UBSan build
-# exercising the chunking stack (the fast path does unaligned loads and
-# arena-backed block chains — exactly what sanitizers are good at catching).
+# CI entry point, fail-fast order (docs/static_analysis.md):
+#   1. repo-invariant lint (module DAG + wall-clock ban) — cheapest, runs first
+#   2. strict build + full test suite (-Werror; clang adds
+#      -Werror=thread-safety over the annotations in src/common/annotations.h)
+#   3. best-effort clang-tidy (skips cleanly on gcc-only toolchains)
+#   4. microbench smokes
+#   5. ASan/UBSan lane (unaligned loads, arena-backed block chains)
+#   6. TSan lane over the concurrency-heavy suites (queues, thread pool,
+#      obs registry/tracer, multi-tenant service, transport)
 #
 # Usage: scripts/ci.sh [build-dir]
 set -euo pipefail
@@ -10,10 +16,17 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-ci}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "=== strict build (-Wall -Wextra -Werror) ==="
+echo "=== repo-invariant lint (module DAG + wall-clock ban) ==="
+python3 scripts/check_invariants.py --self-test
+python3 scripts/check_invariants.py
+
+echo "=== strict build (-Wall -Wextra -Werror; clang: -Werror=thread-safety) ==="
 cmake -B "$BUILD_DIR" -S . -DSHREDDER_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "=== clang-tidy (best-effort; skips when the binary is absent) ==="
+scripts/run_clang_tidy.sh "$BUILD_DIR"
 
 echo "=== multi-tenant service smoke (small-N BENCH_service) ==="
 if [ -x "$BUILD_DIR/microbench" ]; then
@@ -77,11 +90,25 @@ fi
 
 echo "=== ASan/UBSan build (chunking + fingerprint + index + wire + obs stack) ==="
 SAN_DIR="${BUILD_DIR}-asan"
-cmake -B "$SAN_DIR" -S . -DSHREDDER_WERROR=ON -DSHREDDER_SANITIZE=ON
+cmake -B "$SAN_DIR" -S . -DSHREDDER_WERROR=ON -DSHREDDER_SANITIZE=address
 cmake --build "$SAN_DIR" -j "$JOBS" \
   --target chunking_test rabin_test minmax_test fingerprint_test \
   index_test dedup_test sink_test transport_test obs_test common_test
 ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS" \
   -R 'chunking_test|rabin_test|minmax_test|fingerprint_test|index_test|dedup_test|sink_test|transport_test|obs_test|common_test'
+
+echo "=== TSan build (queues, thread pool, obs, service, transport) ==="
+# The suites that genuinely run multiple threads: common_test (BoundedQueue +
+# ThreadPool stress), obs_test (registry shards racing snapshot, tracer),
+# service_test (N producer threads over one engine), transport_test and
+# sink_test (store-thread delivery). TSan's happens-before checking is what
+# the thread-safety annotations cannot give us under gcc.
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "$TSAN_DIR" -S . -DSHREDDER_WERROR=ON -DSHREDDER_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j "$JOBS" \
+  --target common_test obs_test service_test transport_test sink_test
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
+  -R 'common_test|obs_test|service_test|transport_test|sink_test'
 
 echo "=== ci OK ==="

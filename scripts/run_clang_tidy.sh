@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Best-effort clang-tidy sweep over src/ using the .clang-tidy profile.
+#
+# Requires a build directory with compile_commands.json (the CMake build
+# exports one unconditionally). When clang-tidy is not installed — the CI
+# container ships gcc only — this script SKIPS with exit 0 so the lint stage
+# stays green; a clang-equipped environment gets the full check.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: clang-tidy not found; skipping (gcc-only toolchain)"
+  exit 0
+fi
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "run_clang_tidy.sh: ${BUILD_DIR}/compile_commands.json missing;" \
+       "configure with cmake first" >&2
+  exit 2
+fi
+
+mapfile -t sources < <(find src -name '*.cc' | sort)
+echo "run_clang_tidy.sh: checking ${#sources[@]} files against .clang-tidy"
+clang-tidy -p "${BUILD_DIR}" --quiet "${sources[@]}"
+echo "run_clang_tidy.sh: clean"

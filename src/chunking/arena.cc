@@ -6,7 +6,7 @@ namespace shredder::chunking {
 
 void* LockedHeapAllocator::allocate(std::size_t size) {
   if (size == 0) throw std::invalid_argument("allocate: size 0");
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   blocks_.push_back(std::make_unique<std::byte[]>(size));
   return blocks_.back().get();
 }

@@ -12,8 +12,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace shredder::chunking {
 
@@ -32,8 +34,8 @@ class LockedHeapAllocator final : public Allocator {
   void* allocate(std::size_t size) override;
 
  private:
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  Mutex mutex_;
+  std::vector<std::unique_ptr<std::byte[]>> blocks_ GUARDED_BY(mutex_);
 };
 
 // Per-thread slab arena ("Hoard-like"): lock-free within a thread.

@@ -1,0 +1,84 @@
+// Clang Thread Safety Analysis annotations (no-ops off-clang).
+//
+// The macros follow the attribute set documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html and are compiled out
+// entirely on non-clang compilers, so gcc builds see plain C++. The strict CI
+// build turns the analysis into errors (`-Werror=thread-safety`) whenever the
+// compiler is clang (see CMakeLists.txt), which makes the locking contracts
+// below machine-checked:
+//
+//   * a member annotated GUARDED_BY(mu) may only be touched with mu held;
+//   * a function annotated REQUIRES(mu) may only be called with mu held;
+//   * ACQUIRE/RELEASE/TRY_ACQUIRE describe lock-management functions;
+//   * EXCLUDES(mu) declares "calls me without mu" (non-reentrancy).
+//
+// Annotate with the shredder::Mutex / MutexLock / CondVar wrappers from
+// common/mutex.h — std::mutex itself carries no capability attribute under
+// libstdc++, so raw standard types cannot participate in the analysis.
+//
+// docs/static_analysis.md covers how to annotate new code and the (narrow)
+// policy for NO_THREAD_SAFETY_ANALYSIS escapes.
+#pragma once
+
+#if defined(__clang__) && !defined(SHREDDER_NO_THREAD_SAFETY_ANALYSIS)
+#define SHREDDER_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SHREDDER_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+// A type that is a lockable capability ("mutex" in diagnostics).
+#define CAPABILITY(x) SHREDDER_THREAD_ANNOTATION(capability(x))
+
+// An RAII type that acquires a capability in its constructor and releases it
+// in its destructor (std::lock_guard shape).
+#define SCOPED_CAPABILITY SHREDDER_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members: may only be read/written while holding the capability.
+#define GUARDED_BY(x) SHREDDER_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) SHREDDER_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Lock-ordering declarations (deadlock detection).
+#define ACQUIRED_BEFORE(...) \
+  SHREDDER_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  SHREDDER_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Function contracts: the caller must hold (REQUIRES) / must not hold
+// (EXCLUDES) the listed capabilities.
+#define REQUIRES(...) \
+  SHREDDER_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  SHREDDER_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) SHREDDER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Lock-management functions: acquire/release the listed capabilities (the
+// object itself when the list is empty).
+#define ACQUIRE(...) \
+  SHREDDER_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  SHREDDER_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  SHREDDER_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  SHREDDER_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  SHREDDER_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  SHREDDER_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  SHREDDER_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (for code reached both with
+// and without the lock).
+#define ASSERT_CAPABILITY(x) \
+  SHREDDER_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  SHREDDER_THREAD_ANNOTATION(assert_shared_capability(x))
+
+// The function returns a reference to the given capability (accessors).
+#define RETURN_CAPABILITY(x) SHREDDER_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: disables analysis for one function. Every use must carry a
+// written justification (docs/static_analysis.md).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SHREDDER_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -5,22 +5,26 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
+
 namespace shredder {
 
 namespace {
 
 std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
-std::mutex g_log_mutex;
+Mutex g_log_mutex;
 
 // Sink and rate-limiter state live behind g_log_mutex.
-LogSink g_sink;  // empty => stderr
+LogSink g_sink GUARDED_BY(g_log_mutex);  // empty => stderr
 
 struct RateState {
   double last_emit = 0.0;
   bool emitted_once = false;
   std::uint64_t suppressed = 0;
 };
-std::unordered_map<std::string, RateState> g_rate_states;
+std::unordered_map<std::string, RateState> g_rate_states
+    GUARDED_BY(g_log_mutex);
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -59,7 +63,7 @@ double log_uptime_seconds() noexcept {
 }
 
 void set_log_sink(LogSink sink) {
-  std::lock_guard lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   g_sink = std::move(sink);
 }
 
@@ -79,7 +83,7 @@ std::string format_line(LogLevel level, std::string_view tag,
 
 void log_write(LogLevel level, std::string_view tag, const std::string& body) {
   const double uptime = log_uptime_seconds();
-  std::lock_guard lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   if (g_sink) {
     g_sink(level, tag, body);
     return;
@@ -90,7 +94,7 @@ void log_write(LogLevel level, std::string_view tag, const std::string& body) {
 
 bool rate_limit_pass(std::string_view key, double min_interval_s, double now,
                      std::uint64_t* suppressed) {
-  std::lock_guard lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   RateState& state = g_rate_states[std::string(key)];
   if (state.emitted_once && now - state.last_emit < min_interval_s) {
     ++state.suppressed;

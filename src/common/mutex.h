@@ -1,0 +1,88 @@
+// Capability-annotated mutex wrappers for Clang Thread Safety Analysis.
+//
+// std::mutex under libstdc++ carries no `capability` attribute, so members
+// guarded by a raw std::mutex are invisible to `-Wthread-safety`. These thin
+// wrappers (zero overhead beyond the standard types they delegate to) give
+// the analysis something to track:
+//
+//   Mutex mu_;
+//   int value_ GUARDED_BY(mu_);
+//
+//   void bump() {
+//     MutexLock lock(mu_);
+//     ++value_;                       // OK: analysis sees the lock
+//   }
+//
+// Condition waits use CondVar, which waits on the Mutex directly (it is a
+// BasicLockable) and is annotated REQUIRES(mu), so predicates become plain
+// while-loops inside the locked region — the shape the analysis verifies:
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.wait(mu_);
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace shredder {
+
+// Annotated exclusive lock delegating to std::mutex.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII guard (std::lock_guard shape) with an early-release escape for the
+// unlock-before-notify pattern.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(&mu) { mu_->lock(); }
+  ~MutexLock() RELEASE() {
+    if (mu_ != nullptr) mu_->unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // Releases now instead of at scope exit (so notify_one/notify_all can run
+  // without the lock held). The guard must not be used afterwards.
+  void unlock() RELEASE() {
+    mu_->unlock();
+    mu_ = nullptr;
+  }
+
+ private:
+  Mutex* mu_;
+};
+
+// Condition variable waiting directly on a Mutex. wait() REQUIRES the mutex,
+// which keeps the caller's predicate loop inside the analyzed critical
+// section; the internal unlock/relock of the wait itself happens inside the
+// standard library, outside the analysis's view (by design — the capability
+// is held again by the time wait() returns).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace shredder

@@ -3,13 +3,19 @@
 // Used as the conveyor belt between pipeline stages (Reader → Transfer →
 // Kernel → Store). close() lets producers signal end-of-stream; pop() then
 // drains remaining items and returns std::nullopt once empty.
+//
+// Locking: every member below is guarded by mutex_ (thread-safety analysis
+// enforces this under clang); condition waits are predicate loops inside the
+// locked region, and notifies run after an early MutexLock::unlock so a woken
+// thread never bounces straight into a held lock.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace shredder {
 
@@ -24,9 +30,9 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   // Blocks while full. Returns false (item dropped) if the queue was closed.
-  bool push(T item) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+  bool push(T item) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (items_.size() >= capacity_ && !closed_) not_full_.wait(mutex_);
     if (closed_) return false;
     items_.push_back(std::move(item));
     lock.unlock();
@@ -36,8 +42,8 @@ class BoundedQueue {
 
   // Non-blocking push: false when full or closed (the item is untouched on
   // failure, so the caller can retry or shed load).
-  bool try_push(T& item) {
-    std::unique_lock lock(mutex_);
+  bool try_push(T& item) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
     lock.unlock();
@@ -46,9 +52,9 @@ class BoundedQueue {
   }
 
   // Blocks while empty and not closed. nullopt == closed and drained.
-  std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+  std::optional<T> pop() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (items_.empty() && !closed_) not_empty_.wait(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -58,8 +64,8 @@ class BoundedQueue {
   }
 
   // Non-blocking pop; nullopt when nothing available right now.
-  std::optional<T> try_pop() {
-    std::unique_lock lock(mutex_);
+  std::optional<T> try_pop() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -68,22 +74,22 @@ class BoundedQueue {
     return item;
   }
 
-  void close() {
+  void close() EXCLUDES(mutex_) {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard lock(mutex_);
+  bool closed() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard lock(mutex_);
+  std::size_t size() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
@@ -91,11 +97,11 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace shredder

@@ -102,11 +102,11 @@ PipelineEngine::~PipelineEngine() { stop(); }
 void PipelineEngine::stop() {
   stopping_.store(true);
   {
-    std::lock_guard lock(slot_mutex_);
+    MutexLock lock(slot_mutex_);
   }
   slot_cv_.notify_all();
   {
-    std::lock_guard lock(twin_mutex_);
+    MutexLock lock(twin_mutex_);
   }
   twin_cv_.notify_all();
   to_transfer_.close();
@@ -117,8 +117,8 @@ void PipelineEngine::stop() {
 }
 
 bool PipelineEngine::acquire_twin() {
-  std::unique_lock lock(twin_mutex_);
-  twin_cv_.wait(lock, [&] { return twins_free_ > 0 || stopping_.load(); });
+  MutexLock lock(twin_mutex_);
+  while (twins_free_ == 0 && !stopping_.load()) twin_cv_.wait(twin_mutex_);
   if (twins_free_ == 0) return false;
   --twins_free_;
   return true;
@@ -126,7 +126,7 @@ bool PipelineEngine::acquire_twin() {
 
 void PipelineEngine::release_twin() {
   {
-    std::lock_guard lock(twin_mutex_);
+    MutexLock lock(twin_mutex_);
     ++twins_free_;
   }
   twin_cv_.notify_one();
@@ -137,16 +137,16 @@ void PipelineEngine::release_twin() {
 // lease or a full queue, and the peer stage thread waiting on a twin.
 void PipelineEngine::record_error_and_unblock() {
   {
-    std::lock_guard lock(error_mutex_);
+    MutexLock lock(error_mutex_);
     if (!error_) error_ = std::current_exception();
   }
   stopping_.store(true);
   {
-    std::lock_guard lock(slot_mutex_);
+    MutexLock lock(slot_mutex_);
   }
   slot_cv_.notify_all();
   {
-    std::lock_guard lock(twin_mutex_);
+    MutexLock lock(twin_mutex_);
   }
   twin_cv_.notify_all();
   to_transfer_.close();
@@ -155,8 +155,8 @@ void PipelineEngine::record_error_and_unblock() {
 }
 
 std::optional<std::size_t> PipelineEngine::lease_slot() {
-  std::unique_lock lock(slot_mutex_);
-  slot_cv_.wait(lock, [&] { return !free_slots_.empty() || stopping_; });
+  MutexLock lock(slot_mutex_);
+  while (free_slots_.empty() && !stopping_) slot_cv_.wait(slot_mutex_);
   if (stopping_) return std::nullopt;
   const std::size_t slot = free_slots_.back();
   free_slots_.pop_back();
@@ -165,7 +165,7 @@ std::optional<std::size_t> PipelineEngine::lease_slot() {
 
 void PipelineEngine::release_slot(std::size_t slot) {
   {
-    std::lock_guard lock(slot_mutex_);
+    MutexLock lock(slot_mutex_);
     free_slots_.push_back(slot);
   }
   slot_cv_.notify_one();
@@ -375,7 +375,7 @@ void PipelineEngine::kernel_loop() {
 std::optional<BoundaryBatch> PipelineEngine::next_batch() {
   auto batch = to_store_.pop();
   if (!batch.has_value()) {
-    std::lock_guard lock(error_mutex_);
+    MutexLock lock(error_mutex_);
     if (error_) {
       auto err = error_;
       error_ = nullptr;

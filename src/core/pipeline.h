@@ -29,18 +29,18 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "chunking/chunk.h"
+#include "common/annotations.h"
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "common/queue.h"
 #include "core/kernels.h"
 #include "dedup/digest.h"
@@ -254,15 +254,15 @@ class PipelineEngine {
   double init_seconds_ = 0;
 
   std::optional<gpu::PinnedRing> ring_;
-  std::mutex slot_mutex_;
-  std::condition_variable slot_cv_;
-  std::vector<std::size_t> free_slots_;
+  Mutex slot_mutex_;
+  CondVar slot_cv_;
+  std::vector<std::size_t> free_slots_ GUARDED_BY(slot_mutex_);
   std::atomic<bool> stopping_{false};  // wakes slot/twin waiters at shutdown
 
   std::vector<gpu::DeviceBuffer> twins_;
-  std::mutex twin_mutex_;
-  std::condition_variable twin_cv_;
-  std::size_t twins_free_ = 0;
+  Mutex twin_mutex_;
+  CondVar twin_cv_;
+  std::size_t twins_free_ GUARDED_BY(twin_mutex_) = 0;
 
   BoundedQueue<StagedItem> to_transfer_;
   BoundedQueue<StagedItem> to_kernel_;
@@ -272,8 +272,8 @@ class PipelineEngine {
   std::unordered_map<std::uint32_t, std::unique_ptr<FingerprintSession>>
       fp_sessions_;
 
-  std::exception_ptr error_;
-  std::mutex error_mutex_;
+  Mutex error_mutex_;
+  std::exception_ptr error_ GUARDED_BY(error_mutex_);
   std::thread transfer_thread_;
   std::thread kernel_thread_;
 };

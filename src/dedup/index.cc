@@ -33,7 +33,7 @@ std::optional<ChunkLocation> ChunkIndex::do_lookup_or_insert(
     std::uint32_t /*stream*/) {
   probes_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = shard_for(digest);
-  std::lock_guard lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto [it, inserted] = shard.map.try_emplace(digest, loc);
   if (inserted) {
     inserts_.fetch_add(1, std::memory_order_relaxed);
@@ -46,7 +46,7 @@ std::optional<ChunkLocation> ChunkIndex::do_lookup(
     const ChunkDigest& digest, std::uint32_t /*stream*/) const {
   probes_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = shard_for(digest);
-  std::lock_guard lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.map.find(digest);
   if (it == shard.map.end()) return std::nullopt;
   return it->second;
@@ -55,7 +55,7 @@ std::optional<ChunkLocation> ChunkIndex::do_lookup(
 std::uint64_t ChunkIndex::size() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     total += shard.map.size();
   }
   return total;

@@ -26,10 +26,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "dedup/digest.h"
 
 namespace shredder::dedup {
@@ -159,8 +160,9 @@ class ChunkIndex final : public IndexBackend {
  private:
   static constexpr std::size_t kShards = 64;
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<ChunkDigest, ChunkLocation, ChunkDigestHash> map;
+    mutable Mutex mutex;
+    std::unordered_map<ChunkDigest, ChunkLocation, ChunkDigestHash> map
+        GUARDED_BY(mutex);
   };
   Shard& shard_for(const ChunkDigest& d) const noexcept;
 

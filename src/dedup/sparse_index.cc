@@ -250,7 +250,7 @@ void SparseChunkIndex::rebuild_locked() {
 
 std::vector<SparseChunkIndex::LogRecord> SparseChunkIndex::log_records()
     const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<LogRecord> records;
   records.reserve(log_.size());
   for (const LogEntry& e : log_) records.push_back({e.digest, e.loc});
@@ -258,12 +258,12 @@ std::vector<SparseChunkIndex::LogRecord> SparseChunkIndex::log_records()
 }
 
 void SparseChunkIndex::rebuild_from_log() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   rebuild_locked();
 }
 
 void SparseChunkIndex::rebuild_from_log(std::vector<LogRecord> records) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   log_.clear();
   log_.reserve(records.size());
   for (const LogRecord& r : records) log_.push_back({r.digest, r.loc});
@@ -272,7 +272,7 @@ void SparseChunkIndex::rebuild_from_log(std::vector<LogRecord> records) {
 
 std::optional<ChunkLocation> SparseChunkIndex::do_lookup_or_insert(
     const ChunkDigest& digest, const ChunkLocation& loc, std::uint32_t stream) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.probes;
   stats_.virtual_seconds += costs_.ram_probe_s;
   if (const LogEntry* e = probe(digest, stream)) return e->loc;
@@ -306,7 +306,7 @@ std::optional<ChunkLocation> SparseChunkIndex::do_lookup_or_insert(
 
 std::optional<ChunkLocation> SparseChunkIndex::do_lookup(
     const ChunkDigest& digest, std::uint32_t stream) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.probes;
   stats_.virtual_seconds += costs_.ram_probe_s;
   if (const LogEntry* e = probe(digest, stream)) return e->loc;
@@ -314,24 +314,24 @@ std::optional<ChunkLocation> SparseChunkIndex::do_lookup(
 }
 
 std::uint64_t SparseChunkIndex::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return log_.size();
 }
 
 IndexStats SparseChunkIndex::stats() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   IndexStats s = stats_;
   s.spilled = spill_.size();
   return s;
 }
 
 std::size_t SparseChunkIndex::bucket_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return n_buckets_;
 }
 
 std::size_t SparseChunkIndex::stream_cache_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return caches_.size();
 }
 

@@ -30,11 +30,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "dedup/digest.h"
 #include "dedup/index.h"
 
@@ -104,34 +105,38 @@ class SparseChunkIndex final : public IndexBackend {
   std::optional<ChunkLocation> do_lookup(const ChunkDigest& digest,
                                          std::uint32_t stream) const override;
 
-  std::size_t alternate_bucket(std::size_t bucket,
-                               std::uint16_t sig) const noexcept;
-  Slot* find_free(std::size_t bucket) noexcept;
+  std::size_t alternate_bucket(std::size_t bucket, std::uint16_t sig) const
+      noexcept REQUIRES(mu_);
+  Slot* find_free(std::size_t bucket) noexcept REQUIRES(mu_);
   // Confirms slot `s` against `digest`, charging tail/cache/flash cost.
   bool confirm(const Slot& s, const ChunkDigest& digest,
-               std::uint32_t stream) const;
-  const LogEntry* probe(const ChunkDigest& digest, std::uint32_t stream) const;
+               std::uint32_t stream) const REQUIRES(mu_);
+  const LogEntry* probe(const ChunkDigest& digest, std::uint32_t stream) const
+      REQUIRES(mu_);
   // Places (sig, entry) without growing; false when the BFS bound is hit.
-  bool place(std::uint16_t sig, std::size_t bucket, std::uint32_t entry);
+  bool place(std::uint16_t sig, std::size_t bucket, std::uint32_t entry)
+      REQUIRES(mu_);
   // Rebuilds the cuckoo table at the current n_buckets_ from the log;
   // entries that cannot be placed (bucket+signature aliases) go to the
   // spill bin.
-  void replay_log_locked();
+  void replay_log_locked() REQUIRES(mu_);
   // Doubles the table once and re-places every entry.
-  void grow_and_rehash();
-  void rebuild_locked();
+  void grow_and_rehash() REQUIRES(mu_);
+  void rebuild_locked() REQUIRES(mu_);
 
   IndexCostModel costs_;
   SparseIndexTuning tuning_;
 
-  mutable std::mutex mu_;
-  std::size_t n_buckets_;                // always a power of two
-  std::vector<Slot> slots_;              // n_buckets_ * kSlotsPerBucket
-  std::vector<std::uint32_t> spill_;     // RAM auxiliary bin (entry offsets)
-  std::vector<LogEntry> log_;
-  mutable std::unordered_map<std::uint32_t, StreamCache> caches_;
-  mutable std::vector<std::uint32_t> cache_order_;  // FIFO for retirement
-  mutable IndexStats stats_;
+  mutable Mutex mu_;
+  std::size_t n_buckets_ GUARDED_BY(mu_);  // always a power of two
+  std::vector<Slot> slots_ GUARDED_BY(mu_);  // n_buckets_ * kSlotsPerBucket
+  std::vector<std::uint32_t> spill_ GUARDED_BY(mu_);  // RAM auxiliary bin
+  std::vector<LogEntry> log_ GUARDED_BY(mu_);
+  mutable std::unordered_map<std::uint32_t, StreamCache> caches_
+      GUARDED_BY(mu_);
+  // FIFO for retirement.
+  mutable std::vector<std::uint32_t> cache_order_ GUARDED_BY(mu_);
+  mutable IndexStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace shredder::dedup

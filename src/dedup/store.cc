@@ -12,7 +12,7 @@ PutOutcome ChunkStore::put(const ChunkDigest& digest, ByteSpan data) {
   SHREDDER_CHECK_MSG(ChunkHasher::hash(data) == digest,
                      "ChunkStore::put digest mismatch");
 #endif
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   ++total_refs_;
   auto [it, inserted] =
       chunks_.try_emplace(digest, Entry{ByteVec(data.begin(), data.end()), 1});
@@ -25,19 +25,19 @@ PutOutcome ChunkStore::put(const ChunkDigest& digest, ByteSpan data) {
 }
 
 std::optional<ByteVec> ChunkStore::get(const ChunkDigest& digest) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = chunks_.find(digest);
   if (it == chunks_.end()) return std::nullopt;
   return it->second.data;
 }
 
 bool ChunkStore::contains(const ChunkDigest& digest) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return chunks_.contains(digest);
 }
 
 bool ChunkStore::add_ref(const ChunkDigest& digest) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = chunks_.find(digest);
   if (it == chunks_.end()) return false;
   ++it->second.refs;
@@ -46,7 +46,7 @@ bool ChunkStore::add_ref(const ChunkDigest& digest) {
 }
 
 std::optional<std::uint64_t> ChunkStore::release_ref(const ChunkDigest& digest) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = chunks_.find(digest);
   if (it == chunks_.end()) return std::nullopt;
   --it->second.refs;
@@ -60,7 +60,7 @@ std::optional<std::uint64_t> ChunkStore::release_ref(const ChunkDigest& digest) 
 }
 
 bool ChunkStore::erase(const ChunkDigest& digest) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = chunks_.find(digest);
   if (it == chunks_.end()) return false;
   total_refs_ -= it->second.refs;
@@ -70,17 +70,17 @@ bool ChunkStore::erase(const ChunkDigest& digest) {
 }
 
 std::uint64_t ChunkStore::unique_chunks() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return chunks_.size();
 }
 
 std::uint64_t ChunkStore::unique_bytes() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return unique_bytes_;
 }
 
 std::uint64_t ChunkStore::total_refs() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return total_refs_;
 }
 

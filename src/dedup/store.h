@@ -4,12 +4,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "dedup/digest.h"
 
 namespace shredder::dedup {
@@ -56,10 +57,11 @@ class ChunkStore {
     ByteVec data;
     std::uint64_t refs = 1;
   };
-  mutable std::mutex mutex_;
-  std::unordered_map<ChunkDigest, Entry, ChunkDigestHash> chunks_;
-  std::uint64_t unique_bytes_ = 0;
-  std::uint64_t total_refs_ = 0;
+  mutable Mutex mutex_;
+  std::unordered_map<ChunkDigest, Entry, ChunkDigestHash> chunks_
+      GUARDED_BY(mutex_);
+  std::uint64_t unique_bytes_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t total_refs_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace shredder::dedup

@@ -67,7 +67,7 @@ DeviceBuffer Device::alloc(std::size_t size) {
   if (size == 0) throw std::invalid_argument("Device::alloc: size 0");
   std::uint64_t addr = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (allocated_ + size > spec_.global_mem_bytes) {
       throw std::runtime_error(
           "Device::alloc: out of device memory (2.6 GB simulated capacity)");
@@ -82,12 +82,12 @@ DeviceBuffer Device::alloc(std::size_t size) {
 }
 
 std::uint64_t Device::allocated_bytes() const noexcept {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return allocated_;
 }
 
 void Device::release(std::uint64_t bytes) noexcept {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   SHREDDER_CHECK(allocated_ >= bytes);
   allocated_ -= bytes;
 }

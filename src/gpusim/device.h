@@ -10,10 +10,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 #include "gpusim/dma.h"
 #include "gpusim/dram.h"
@@ -81,9 +82,10 @@ class Device {
 
   DeviceSpec spec_;
   ThreadPool pool_;
-  mutable std::mutex mutex_;
-  std::uint64_t allocated_ = 0;
-  std::uint64_t next_addr_ = 0;  // bump allocator for device addresses
+  mutable Mutex mutex_;
+  std::uint64_t allocated_ GUARDED_BY(mutex_) = 0;
+  // Bump allocator for device addresses.
+  std::uint64_t next_addr_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace shredder::gpu

@@ -5,7 +5,7 @@
 namespace shredder::inchdfs {
 
 void DataNode::put(std::uint64_t block_id, ByteSpan data) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] =
       blocks_.try_emplace(block_id, ByteVec(data.begin(), data.end()));
   if (!inserted) {
@@ -15,25 +15,25 @@ void DataNode::put(std::uint64_t block_id, ByteSpan data) {
 }
 
 std::optional<ByteVec> DataNode::get(std::uint64_t block_id) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = blocks_.find(block_id);
   if (it == blocks_.end()) return std::nullopt;
   return it->second;
 }
 
 std::uint64_t DataNode::bytes_stored() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return bytes_;
 }
 
 std::uint64_t DataNode::blocks_stored() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return blocks_.size();
 }
 
 void NameNode::create_file(const std::string& name,
                            std::vector<BlockRef> blocks) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] = files_.try_emplace(name, std::move(blocks));
   if (!inserted) {
     throw std::invalid_argument("NameNode: file exists: " + name);
@@ -41,12 +41,12 @@ void NameNode::create_file(const std::string& name,
 }
 
 bool NameNode::exists(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return files_.contains(name);
 }
 
 std::vector<BlockRef> NameNode::lookup(const std::string& name) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = files_.find(name);
   if (it == files_.end()) {
     throw std::out_of_range("NameNode: no such file: " + name);
@@ -55,17 +55,17 @@ std::vector<BlockRef> NameNode::lookup(const std::string& name) const {
 }
 
 void NameNode::remove(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   files_.erase(name);
 }
 
 std::uint64_t NameNode::file_count() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return files_.size();
 }
 
 std::uint64_t NameNode::next_block_id() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return next_block_id_++;
 }
 

@@ -11,13 +11,14 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "dedup/sha1.h"
 
 namespace shredder::inchdfs {
@@ -42,9 +43,9 @@ class DataNode {
 
  private:
   std::uint32_t id_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, ByteVec> blocks_;
-  std::uint64_t bytes_ = 0;
+  mutable Mutex mutex_;
+  std::unordered_map<std::uint64_t, ByteVec> blocks_ GUARDED_BY(mutex_);
+  std::uint64_t bytes_ GUARDED_BY(mutex_) = 0;
 };
 
 class NameNode {
@@ -61,9 +62,9 @@ class NameNode {
   std::uint64_t next_block_id();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::vector<BlockRef>> files_;
-  std::uint64_t next_block_id_ = 1;
+  mutable Mutex mutex_;
+  std::map<std::string, std::vector<BlockRef>> files_ GUARDED_BY(mutex_);
+  std::uint64_t next_block_id_ GUARDED_BY(mutex_) = 1;
 };
 
 // The assembled cluster: one NameNode, `nodes` DataNodes, round-robin block

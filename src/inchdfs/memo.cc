@@ -5,7 +5,7 @@
 namespace shredder::inchdfs {
 
 MemoServer::MapOutputPtr MemoServer::get_map(const dedup::Sha1Digest& key) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = map_memo_.find(key);
   if (it == map_memo_.end()) {
     ++map_misses_;
@@ -16,13 +16,13 @@ MemoServer::MapOutputPtr MemoServer::get_map(const dedup::Sha1Digest& key) {
 }
 
 void MemoServer::put_map(const dedup::Sha1Digest& key, MapOutputPtr value) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   map_memo_[key] = std::move(value);
 }
 
 std::optional<std::map<std::string, std::string>> MemoServer::get_reduce(
     const dedup::Sha1Digest& key) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = reduce_memo_.find(key);
   if (it == reduce_memo_.end()) {
     ++reduce_misses_;
@@ -34,12 +34,12 @@ std::optional<std::map<std::string, std::string>> MemoServer::get_reduce(
 
 void MemoServer::put_reduce(const dedup::Sha1Digest& key,
                             std::map<std::string, std::string> value) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   reduce_memo_[key] = std::move(value);
 }
 
 MemoServer::CombinePtr MemoServer::get_combine(const dedup::Sha1Digest& key) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = combine_memo_.find(key);
   if (it == combine_memo_.end()) {
     ++combine_misses_;
@@ -50,37 +50,37 @@ MemoServer::CombinePtr MemoServer::get_combine(const dedup::Sha1Digest& key) {
 }
 
 void MemoServer::put_combine(const dedup::Sha1Digest& key, CombinePtr value) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   combine_memo_[key] = std::move(value);
 }
 
 std::uint64_t MemoServer::combine_hits() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return combine_hits_;
 }
 std::uint64_t MemoServer::combine_misses() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return combine_misses_;
 }
 
 std::uint64_t MemoServer::map_hits() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return map_hits_;
 }
 std::uint64_t MemoServer::map_misses() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return map_misses_;
 }
 std::uint64_t MemoServer::reduce_hits() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return reduce_hits_;
 }
 std::uint64_t MemoServer::reduce_misses() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return reduce_misses_;
 }
 std::uint64_t MemoServer::entries() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return map_memo_.size() + reduce_memo_.size();
 }
 

@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "dedup/sha1.h"
 
 namespace shredder::inchdfs {
@@ -54,20 +55,20 @@ class MemoServer {
   std::uint64_t entries() const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::unordered_map<dedup::Sha1Digest, MapOutputPtr, dedup::Sha1DigestHash>
-      map_memo_;
+      map_memo_ GUARDED_BY(mutex_);
   std::unordered_map<dedup::Sha1Digest, std::map<std::string, std::string>,
                      dedup::Sha1DigestHash>
-      reduce_memo_;
+      reduce_memo_ GUARDED_BY(mutex_);
   std::unordered_map<dedup::Sha1Digest, CombinePtr, dedup::Sha1DigestHash>
-      combine_memo_;
-  std::uint64_t combine_hits_ = 0;
-  std::uint64_t combine_misses_ = 0;
-  std::uint64_t map_hits_ = 0;
-  std::uint64_t map_misses_ = 0;
-  std::uint64_t reduce_hits_ = 0;
-  std::uint64_t reduce_misses_ = 0;
+      combine_memo_ GUARDED_BY(mutex_);
+  std::uint64_t combine_hits_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t combine_misses_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t map_hits_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t map_misses_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t reduce_hits_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t reduce_misses_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace shredder::inchdfs

@@ -81,7 +81,7 @@ Timing::Shard& Timing::local_shard() {
   thread_local std::unordered_map<std::uint64_t, Shard*> cache;
   const auto it = cache.find(id_);
   if (it != cache.end()) return *it->second;
-  std::lock_guard lock(shards_mu_);
+  MutexLock lock(shards_mu_);
   auto shard = std::make_unique<Shard>();
   if (!bounds_.empty()) shard->hist.emplace(bounds_);
   Shard* p = shard.get();
@@ -93,16 +93,16 @@ Timing::Shard& Timing::local_shard() {
 void Timing::observe(double v) {
   if (!enabled_->load(std::memory_order_relaxed)) return;
   Shard& s = local_shard();
-  std::lock_guard lock(s.mu);
+  MutexLock lock(s.mu);
   s.summary.add(v);
   if (s.hist.has_value()) s.hist->add(v);
 }
 
 Summary Timing::summary() const {
   Summary merged;
-  std::lock_guard lock(shards_mu_);
+  MutexLock lock(shards_mu_);
   for (const auto& shard : shards_) {
-    std::lock_guard slock(shard->mu);
+    MutexLock slock(shard->mu);
     merged.merge(shard->summary);
   }
   return merged;
@@ -111,9 +111,9 @@ Summary Timing::summary() const {
 std::optional<Histogram> Timing::histogram() const {
   if (bounds_.empty()) return std::nullopt;
   Histogram merged(bounds_);
-  std::lock_guard lock(shards_mu_);
+  MutexLock lock(shards_mu_);
   for (const auto& shard : shards_) {
-    std::lock_guard slock(shard->mu);
+    MutexLock slock(shard->mu);
     if (shard->hist.has_value()) merged.merge(*shard->hist);
   }
   return merged;
@@ -126,7 +126,7 @@ Registry::Entry& Registry::entry(MetricSample::Type type,
                                  std::vector<double> bounds) {
   sort_labels(labels);
   const std::string key = metric_key(name, labels);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = by_key_.find(key);
   if (it != by_key_.end()) {
     if (it->second->type != type) {
@@ -179,7 +179,7 @@ std::vector<MetricSample> Registry::snapshot() const {
   // Timing::summary() takes its own locks and entries are never removed.
   std::vector<const Entry*> entries;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     entries.reserve(entries_.size());
     for (const auto& e : entries_) entries.push_back(e.get());
   }
@@ -263,7 +263,7 @@ std::vector<MetricSample> Registry::delta(
 }
 
 std::uint64_t Registry::counter_sum(const std::string& name) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::uint64_t sum = 0;
   for (const auto& e : entries_) {
     if (e->type == MetricSample::Type::kCounter && e->name == name) {

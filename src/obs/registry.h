@@ -28,13 +28,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/stats.h"
 
 namespace shredder::obs {
@@ -111,11 +112,11 @@ class Timing {
       : enabled_(enabled), bounds_(std::move(bounds)), id_(id) {}
 
   struct Shard {
-    mutable std::mutex mu;
-    Summary summary;
-    std::optional<Histogram> hist;
+    mutable Mutex mu;
+    Summary summary GUARDED_BY(mu);
+    std::optional<Histogram> hist GUARDED_BY(mu);
   };
-  Shard& local_shard();
+  Shard& local_shard() EXCLUDES(shards_mu_);
 
   const std::atomic<bool>* enabled_;
   const std::vector<double> bounds_;
@@ -123,8 +124,8 @@ class Timing {
   // on `this`, so a new Timing reusing a dead one's address can never pick
   // up the dead metric's shard.
   const std::uint64_t id_;
-  mutable std::mutex shards_mu_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable Mutex shards_mu_;
+  std::vector<std::unique_ptr<Shard>> shards_ GUARDED_BY(shards_mu_);
 };
 
 // One metric's state at snapshot time.
@@ -201,11 +202,13 @@ class Registry {
   };
 
   Entry& entry(MetricSample::Type type, const std::string& name,
-               Labels labels, std::vector<double> bounds);
+               Labels labels, std::vector<double> bounds) EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
-  std::unordered_map<std::string, Entry*> by_key_;
+  mutable Mutex mu_;
+  // Registration order; entries are never removed, so pointers handed out by
+  // counter()/gauge()/timing() stay valid without the lock.
+  std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, Entry*> by_key_ GUARDED_BY(mu_);
   std::atomic<bool> enabled_{true};
 };
 

@@ -60,7 +60,7 @@ void Tracer::span(const std::string& track, const std::string& name,
   ev.ts_us = start_s * kSecondsToUs;
   ev.dur_us = std::max(0.0, (end_s - start_s) * kSecondsToUs);
   ev.args = args;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ev.tid = track_id_locked(track);
   events_.push_back(std::move(ev));
 }
@@ -73,7 +73,7 @@ void Tracer::instant(const std::string& track, const std::string& name,
   ev.name = name;
   ev.ts_us = t_s * kSecondsToUs;
   ev.args = args;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ev.tid = track_id_locked(track);
   events_.push_back(std::move(ev));
 }
@@ -86,13 +86,13 @@ void Tracer::counter(const std::string& track, const std::string& name,
   ev.name = name;
   ev.ts_us = t_s * kSecondsToUs;
   ev.value = value;
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ev.tid = track_id_locked(track);
   events_.push_back(std::move(ev));
 }
 
 double Tracer::track_busy(const std::string& track) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = track_ids_.find(track);
   if (it == track_ids_.end()) return 0.0;
   double busy_us = 0;
@@ -103,20 +103,25 @@ double Tracer::track_busy(const std::string& track) const {
 }
 
 std::size_t Tracer::event_count() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 
 std::string Tracer::to_json() const {
-  std::lock_guard lock(mu_);
-  // Stable export: events sorted by (timestamp, record order). Sort an index
-  // so ties keep insertion order without needing a stable comparison on the
-  // events themselves.
-  std::vector<std::size_t> order(events_.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  MutexLock lock(mu_);
+  // Stable export: events sorted by (timestamp, record order). Sort
+  // (timestamp, index) keys so ties keep insertion order — and so the
+  // comparator stays free of guarded-member accesses (a lambda body is
+  // analyzed as its own function and cannot see that mu_ is held here).
+  std::vector<std::pair<double, std::size_t>> order;
+  order.reserve(events_.size());
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    order.emplace_back(events_[i].ts_us, i);
+  }
   std::stable_sort(order.begin(), order.end(),
-                   [this](std::size_t a, std::size_t b) {
-                     return events_[a].ts_us < events_[b].ts_us;
+                   [](const std::pair<double, std::size_t>& a,
+                      const std::pair<double, std::size_t>& b) {
+                     return a.first < b.first;
                    });
 
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -135,7 +140,7 @@ std::string Tracer::to_json() const {
     append_json_string(out, tracks_[i]);
     out += "}}";
   }
-  for (const std::size_t i : order) {
+  for (const auto& [ts_us, i] : order) {
     const Event& ev = events_[i];
     comma();
     out += "{\"name\":";

@@ -23,12 +23,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "obs/registry.h"  // Labels
 
 namespace shredder::obs {
@@ -86,12 +87,12 @@ class Tracer {
     Labels args;
   };
 
-  int track_id_locked(const std::string& track);
+  int track_id_locked(const std::string& track) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<Event> events_;
-  std::vector<std::string> tracks_;  // index = tid - 1
-  std::unordered_map<std::string, int> track_ids_;
+  mutable Mutex mu_;
+  std::vector<Event> events_ GUARDED_BY(mu_);
+  std::vector<std::string> tracks_ GUARDED_BY(mu_);  // index = tid - 1
+  std::unordered_map<std::string, int> track_ids_ GUARDED_BY(mu_);
   std::atomic<bool> enabled_{true};
 };
 

@@ -83,14 +83,16 @@ ChunkingService::ChunkingService(ServiceConfig config)
 }
 
 ChunkingService::~ChunkingService() {
-  if (!stopped_) {
+  bool stopped;
+  {
+    MutexLock lock(mu_);
+    stopped = stopped_;
+    if (!stopped) draining_ = true;
+  }
+  if (!stopped) {
     // Best-effort teardown for services abandoned without shutdown():
     // stop the engine (unblocks a scheduler parked on a slot lease and the
     // store thread parked on next_batch), then join our threads.
-    {
-      std::lock_guard lock(mu_);
-      draining_ = true;
-    }
     sched_cv_.notify_all();
     engine_->stop();
     if (scheduler_thread_.joinable()) scheduler_thread_.join();
@@ -99,7 +101,7 @@ ChunkingService::~ChunkingService() {
 }
 
 ChunkingService::StreamId ChunkingService::open(TenantOptions opts) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (draining_ || stopped_) {
     throw std::runtime_error("ChunkingService: open after shutdown");
   }
@@ -169,7 +171,7 @@ ChunkingService::StreamId ChunkingService::open(TenantOptions opts) {
 }
 
 ChunkingService::Session* ChunkingService::find_session(StreamId id) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     throw std::invalid_argument("ChunkingService: unknown stream id");
@@ -193,7 +195,7 @@ void ChunkingService::enqueue_payload(Session& s, ByteVec payload) {
                                             std::memory_order_relaxed)) {
   }
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
   }
   sched_cv_.notify_one();
 }
@@ -201,7 +203,7 @@ void ChunkingService::enqueue_payload(Session& s, ByteVec payload) {
 void ChunkingService::submit(StreamId id, ByteSpan data) {
   Session& s = *find_session(id);
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (s.finishing) {
       throw std::logic_error("ChunkingService: submit after finish");
     }
@@ -224,7 +226,7 @@ void ChunkingService::submit(StreamId id, ByteSpan data) {
 bool ChunkingService::try_submit(StreamId id, ByteSpan data) {
   Session& s = *find_session(id);
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (s.finishing) {
       throw std::logic_error("ChunkingService: submit after finish");
     }
@@ -242,7 +244,7 @@ bool ChunkingService::try_submit(StreamId id, ByteSpan data) {
 void ChunkingService::finish(StreamId id) {
   Session& s = *find_session(id);
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (s.finishing) return;  // idempotent
   }
   if (!s.staging.empty()) {
@@ -251,20 +253,20 @@ void ChunkingService::finish(StreamId id) {
     enqueue_payload(s, std::move(payload));
   }
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     s.finishing = true;
   }
   sched_cv_.notify_one();
 }
 
 TenantResult ChunkingService::wait(StreamId id) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   const auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     throw std::invalid_argument("ChunkingService: unknown stream id");
   }
   Session* s = it->second.get();
-  complete_cv_.wait(lock, [&] { return s->complete || store_error_; });
+  while (!s->complete && !store_error_) complete_cv_.wait(mu_);
   if (store_error_ && !s->complete) {
     std::rethrow_exception(store_error_);
   }
@@ -272,7 +274,9 @@ TenantResult ChunkingService::wait(StreamId id) {
   result.report = std::move(s->report);
   result.chunks = std::move(s->chunks);
   result.digests = std::move(s->digests);
-  sessions_.erase(it);
+  // Erase by key: a concurrent open() may have rehashed sessions_ while the
+  // wait above had mu_ released, invalidating `it`.
+  sessions_.erase(id);
   --open_sessions_;
   return result;
 }
@@ -367,7 +371,7 @@ void ChunkingService::scheduler_loop() {
     Session* pick = nullptr;
     bool send_eos = false;
     {
-      std::unique_lock lock(mu_);
+      MutexLock lock(mu_);
       for (;;) {
         pick = pick_locked(&send_eos);
         if (pick != nullptr) break;
@@ -376,7 +380,7 @@ void ChunkingService::scheduler_loop() {
           engine_->close();
           return;
         }
-        sched_cv_.wait(lock);
+        sched_cv_.wait(mu_);
       }
     }
     // Dispatch outside the lock: engine_->submit may block on a pinned-slot
@@ -390,7 +394,7 @@ void ChunkingService::store_loop() {
     while (auto batch = engine_->next_batch()) {
       Session* s;
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         const auto it = sessions_.find(batch->stream_id);
         SHREDDER_CHECK_MSG(it != sessions_.end(),
                            "ChunkingService: batch for unknown session");
@@ -526,7 +530,7 @@ void ChunkingService::store_loop() {
       r.stage_totals.fingerprint += batch->stages.fingerprint;
       r.stage_totals.store += batch->stages.store;
       {
-        std::lock_guard lock(mu_);
+        MutexLock lock(mu_);
         aggregate_.n_buffers += 1;
       }
     }
@@ -535,7 +539,7 @@ void ChunkingService::store_loop() {
     // queue push fails), let the scheduler drain out, and surface the
     // error from wait()/shutdown().
     engine_->stop();
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     store_error_ = std::current_exception();
     draining_ = true;
     for (auto& [id, session] : sessions_) session->queue->close();
@@ -645,7 +649,7 @@ void ChunkingService::finalize_session(Session& s, std::uint64_t total_bytes,
           ? static_cast<double>(total_bytes) / r.virtual_seconds
           : 0.0;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     aggregate_.total_bytes += total_bytes;
     aggregate_.dedup_stored_bytes += r.stored_bytes;
     aggregate_.tenants.push_back(r);  // summary copy; chunks stay in session
@@ -656,7 +660,7 @@ void ChunkingService::finalize_session(Session& s, std::uint64_t total_bytes,
 
 ServiceReport ChunkingService::shutdown() {
   {
-    std::unique_lock lock(mu_);
+    MutexLock lock(mu_);
     if (stopped_) {
       throw std::logic_error("ChunkingService: shutdown called twice");
     }
@@ -668,23 +672,32 @@ ServiceReport ChunkingService::shutdown() {
         throw std::logic_error(msg);
       }
     }
-    complete_cv_.wait(lock, [&] {
-      if (store_error_) return true;
-      for (auto& [id, session] : sessions_) {
-        if (!session->complete) return false;
+    for (;;) {
+      bool done = store_error_ != nullptr;
+      if (!done) {
+        done = true;
+        for (auto& [id, session] : sessions_) {
+          if (!session->complete) {
+            done = false;
+            break;
+          }
+        }
       }
-      return true;
-    });
+      if (done) break;
+      complete_cv_.wait(mu_);
+    }
     draining_ = true;
   }
   sched_cv_.notify_all();
   scheduler_thread_.join();  // closes the engine on exit
   store_thread_.join();
+  std::exception_ptr err;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stopped_ = true;
+    err = store_error_;
   }
-  if (store_error_) std::rethrow_exception(store_error_);
+  if (err) std::rethrow_exception(err);
 
   ServiceReport report = std::move(aggregate_);
   report.virtual_seconds = timeline_.makespan();
@@ -712,7 +725,7 @@ ServiceReport ChunkingService::shutdown() {
   }
   report.wall_seconds = wall_.elapsed_seconds();
   {
-    std::lock_guard tlock(transport_mu_);
+    MutexLock tlock(transport_mu_);
     report.transport.assign(transport_health_.begin(),
                             transport_health_.end());
   }
@@ -725,7 +738,7 @@ ServiceReport ChunkingService::shutdown() {
 ServiceHealth ChunkingService::health() const {
   ServiceHealth h;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     h.open_sessions = open_sessions_;
   }
   const obs::Registry& reg = *registry_;
@@ -741,13 +754,13 @@ ServiceHealth ChunkingService::health() const {
 
 void ChunkingService::set_tenant_transport(const std::string& tenant,
                                            const TenantTransport& transport) {
-  std::lock_guard lock(transport_mu_);
+  MutexLock lock(transport_mu_);
   tenant_transports_[tenant] = transport;
 }
 
 std::optional<TenantTransport> ChunkingService::tenant_transport(
     const std::string& tenant) const {
-  std::lock_guard lock(transport_mu_);
+  MutexLock lock(transport_mu_);
   const auto it = tenant_transports_.find(tenant);
   if (it == tenant_transports_.end()) return std::nullopt;
   return it->second;
@@ -760,7 +773,7 @@ void ChunkingService::report_transport_health(TenantTransportHealth health) {
   if (health.degraded) m_transport_degraded_->add(1);
   m_transport_retx_->add(health.retransmits);
   m_transport_repairs_->add(health.repairs);
-  std::lock_guard lock(transport_mu_);
+  MutexLock lock(transport_mu_);
   transport_health_.push_back(std::move(health));
   while (transport_health_.size() > config_.transport_health_capacity) {
     transport_health_.pop_front();
@@ -768,7 +781,7 @@ void ChunkingService::report_transport_health(TenantTransportHealth health) {
 }
 
 std::vector<TenantTransportHealth> ChunkingService::transport_health() const {
-  std::lock_guard lock(transport_mu_);
+  MutexLock lock(transport_mu_);
   return {transport_health_.begin(), transport_health_.end()};
 }
 

@@ -32,12 +32,10 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -46,7 +44,9 @@
 
 #include "chunking/chunk.h"
 #include "chunking/minmax.h"
+#include "common/annotations.h"
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "common/queue.h"
 #include "common/timer.h"
 #include "core/pipeline.h"
@@ -369,7 +369,7 @@ class ChunkingService {
 
   Session* find_session(StreamId id);
   void enqueue_payload(Session& s, ByteVec payload);
-  Session* pick_locked(bool* send_eos);
+  Session* pick_locked(bool* send_eos) REQUIRES(mu_);
   void dispatch(Session& s, bool send_eos);
   void scheduler_loop();
   void store_loop();
@@ -411,19 +411,22 @@ class ChunkingService {
 
   // Backup-transport registry + health history (own lock: touched by backup
   // servers around snapshots, never on the chunking hot path).
-  mutable std::mutex transport_mu_;
-  std::unordered_map<std::string, TenantTransport> tenant_transports_;
-  std::deque<TenantTransportHealth> transport_health_;
+  mutable Mutex transport_mu_;
+  std::unordered_map<std::string, TenantTransport> tenant_transports_
+      GUARDED_BY(transport_mu_);
+  std::deque<TenantTransportHealth> transport_health_
+      GUARDED_BY(transport_mu_);
 
-  mutable std::mutex mu_;  // sessions map, scheduler wakeups, completion
-  std::condition_variable sched_cv_;
-  std::condition_variable complete_cv_;
-  std::unordered_map<StreamId, std::unique_ptr<Session>> sessions_;
-  StreamId next_id_ = 1;
-  std::size_t open_sessions_ = 0;
-  bool draining_ = false;
-  bool stopped_ = false;
-  std::exception_ptr store_error_;
+  mutable Mutex mu_;  // sessions map, scheduler wakeups, completion
+  CondVar sched_cv_;
+  CondVar complete_cv_;
+  std::unordered_map<StreamId, std::unique_ptr<Session>> sessions_
+      GUARDED_BY(mu_);
+  StreamId next_id_ GUARDED_BY(mu_) = 1;
+  std::size_t open_sessions_ GUARDED_BY(mu_) = 0;
+  bool draining_ GUARDED_BY(mu_) = false;
+  bool stopped_ GUARDED_BY(mu_) = false;
+  std::exception_ptr store_error_ GUARDED_BY(mu_);
 
   gpu::GpuTimeline timeline_;
   ServiceReport aggregate_;  // store thread only, until shutdown

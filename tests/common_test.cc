@@ -371,6 +371,42 @@ TEST(BoundedQueue, ConcurrentProducersConsumers) {
   EXPECT_EQ(sum.load(), 4 * kPerProducer * (kPerProducer + 1) / 2);
 }
 
+// TSan-targeted stress: producers and consumers running full tilt while the
+// queue is closed out from under them mid-stream. Exercises the push-drop
+// path (push() returning false on a closed queue), the close() broadcast
+// waking blocked pushers and poppers, and the post-close drain — the
+// happens-before edges the TSan CI lane exists to check.
+TEST(BoundedQueue, CloseRacesProducersAndConsumers) {
+  BoundedQueue<int> q(4);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  std::atomic<int> pushed{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (!q.push(i)) return;  // closed under us — expected
+        pushed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (q.pop()) popped.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  q.close();  // races both sides
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(q.closed());
+  // A push succeeds only while the queue is open, and consumers exit only
+  // once the queue is closed AND drained — so every successful push was
+  // matched by a pop.
+  EXPECT_EQ(popped.load(), pushed.load());
+  EXPECT_EQ(q.size(), 0u);
+}
+
 TEST(ThreadPool, ParallelForCoversRange) {
   ThreadPool pool(4);
   std::vector<std::atomic<int>> hits(1000);

@@ -1,0 +1,7 @@
+// Fixture: deliberate wall-clock read inside virtual-time code.
+#include <chrono>
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

@@ -1,0 +1,3 @@
+// Fixture: deliberate layering violation — common must not reach up to core.
+#pragma once
+#include "core/pipeline.h"

@@ -1,0 +1,5 @@
+// Fixture: legal include (core -> chunking via the DAG) and no clock calls.
+#include "chunking/chunk.h"
+#include "common/bytes.h"
+
+double runtime(double x) { return x; }  // `runtime(` must not trip \btime\(

@@ -1,0 +1,7 @@
+// Fixture: identifier ending in `time` followed by `(` — the regex must not
+// flag stream_time( as a call to time(.
+#pragma once
+struct TimelineLike {
+  double stream_time(unsigned stream) const;
+  double lifetime(int id) const;
+};

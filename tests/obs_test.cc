@@ -83,6 +83,51 @@ TEST(Registry, TimingMergesAcrossThreads) {
   EXPECT_DOUBLE_EQ(s.mean(), 3.5);
 }
 
+// TSan-targeted stress: writer threads mutating their per-thread Timing
+// shards while another thread repeatedly Welford-merges them via
+// Registry::snapshot(). The shard mutex is "only ever contended by a
+// concurrent snapshot" (registry.h) — this test manufactures exactly that
+// contention, plus concurrent metric registration forcing shard-vector
+// growth under shards_mu_. Monotonicity of the observed counts across
+// snapshots is the correctness witness; TSan checks the memory ordering.
+TEST(Registry, SnapshotRacesShardWriters) {
+  Registry reg;
+  Timing& t = reg.timing("hot_stage_seconds");
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 4000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&t, &reg, w] {
+      // Interleave observes with fresh registrations so the snapshot thread
+      // also races entries_ growth, not just shard merging.
+      Counter& c = reg.counter("writer_total", {{"w", std::to_string(w)}});
+      for (int i = 0; i < kPerWriter; ++i) {
+        t.observe(static_cast<double>(i % 7));
+        c.add(1);
+      }
+    });
+  }
+  std::uint64_t last_count = 0;
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const MetricSample& s : reg.snapshot()) {
+        if (s.name == "hot_stage_seconds") {
+          EXPECT_GE(s.summary.count(), last_count);  // merged counts only grow
+          last_count = s.summary.count();
+        }
+      }
+    }
+  });
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<std::size_t>(w)].join();
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+  EXPECT_EQ(t.summary().count(),
+            static_cast<std::uint64_t>(kWriters * kPerWriter));
+  EXPECT_EQ(reg.counter_sum("writer_total"),
+            static_cast<std::uint64_t>(kWriters * kPerWriter));
+}
+
 TEST(Registry, TimingHistogramBuckets) {
   Registry reg;
   Timing& t = reg.timing("lat", {}, {1.0, 10.0, 100.0});

@@ -176,6 +176,46 @@ TEST(ChunkingService, ConcurrentProducersMatchDedicatedRuns) {
   }
 }
 
+// Regression: wait() used to capture a sessions_ iterator before parking on
+// complete_cv_ and erase through it afterwards. While the wait has mu_
+// released, a concurrent open() can rehash the unordered_map and invalidate
+// that iterator (wait() now erases by key). Churn whole sessions from many
+// threads so inserts/rehashes land while other threads sit in wait().
+TEST(ChunkingService, WaitSurvivesConcurrentSessionChurn) {
+  ServiceConfig cfg = small_service_config();
+  cfg.buffer_bytes = 8 * 1024;
+  cfg.max_tenants = 64;
+  ChunkingService svc(cfg);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRounds = 6;
+  std::vector<ByteVec> payloads;
+  for (std::size_t k = 0; k < kThreads; ++k) {
+    payloads.push_back(random_bytes(30000 + 1777 * k, 90 + k));
+  }
+  std::vector<std::vector<chunking::Chunk>> expected;
+  for (std::size_t k = 0; k < kThreads; ++k) {
+    expected.push_back(dedicated_chunks(cfg, as_bytes(payloads[k])));
+  }
+
+  std::vector<std::thread> workers;
+  for (std::size_t k = 0; k < kThreads; ++k) {
+    workers.emplace_back([&, k] {
+      for (std::size_t r = 0; r < kRounds; ++r) {
+        const auto id = svc.open();
+        svc.submit(id, as_bytes(payloads[k]));
+        svc.finish(id);
+        const auto result = svc.wait(id);
+        EXPECT_EQ(result.chunks, expected[k])
+            << "thread " << k << " round " << r;
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  const auto report = svc.shutdown();
+  EXPECT_EQ(report.n_tenants, kThreads * kRounds);
+}
+
 TEST(ChunkingService, ChunkStreamMatchesShredderRun) {
   ServiceConfig cfg = small_service_config();
   const auto data = random_bytes(300000, 11);
