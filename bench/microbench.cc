@@ -17,6 +17,15 @@
 // baseline (the device no longer idles between one stream's buffers).
 // `--service_smoke_json[=PATH]` is the small-N variant scripts/ci.sh runs.
 //
+// Zero-copy sink tracking: `microbench --sink_zero_copy_json[=PATH]` runs a
+// payload-consuming sink at the 2 KB small-chunk operating point over the
+// in-memory ByteSpan path and the streaming DataSource path (refcounted slot
+// leases end to end, docs/zero_copy.md) and writes both wall throughputs to
+// BENCH_sink.json. The acceptance bar is streaming >= 0.95x in-memory — the
+// lease plumbing must make streaming retention copy-free, not merely
+// correct. `--sink_zero_copy_smoke_json[=PATH]` is the small-input variant
+// scripts/ci.sh runs (bar 0.9x).
+//
 // Fingerprint-stage tracking: `microbench --fingerprint_json[=PATH]` backs a
 // VM snapshot up twice — once hashing chunks on the host store thread, once
 // with the on-device SHA-256 fingerprint stage — and writes end-to-end
@@ -438,6 +447,129 @@ int run_service_json(const std::string& path, bool smoke) {
                 p.device_occupancy * 100, p.h2d_busy_fraction * 100);
   }
   std::printf("-> %s\n", path.c_str());
+  return 0;
+}
+
+// --- --sink_zero_copy_json mode -------------------------------------------
+
+// Payload-consuming sink for the zero-copy bench: touches every chunk's
+// bytes (head + tail, the shape of a header-sniffing consumer) so the
+// payload path is really exercised, and folds them into a checksum used to
+// cross-check the streaming and in-memory runs deliver identical bytes.
+class PayloadProbeSink final : public ChunkSink {
+ public:
+  void on_batch(const ChunkBatchView& batch) override {
+    for (std::size_t i = 0; i < batch.chunks.size(); ++i) {
+      const ByteSpan bytes = batch.chunk_bytes(i);
+      std::uint64_t h = 1469598103934665603ull ^ bytes.size();
+      const std::size_t probe = std::min<std::size_t>(32, bytes.size());
+      for (std::size_t k = 0; k < probe; ++k) {
+        h = (h ^ bytes[k]) * 1099511628211ull;
+        h = (h ^ bytes[bytes.size() - 1 - k]) * 1099511628211ull;
+      }
+      checksum_ ^= h;
+    }
+  }
+  bool wants_payload() const noexcept override { return true; }
+  std::uint64_t checksum() const noexcept { return checksum_; }
+
+ private:
+  std::uint64_t checksum_ = 0;
+};
+
+int run_sink_zero_copy_json(const std::string& path, bool smoke) {
+  // The 2 KB small-chunk operating point (the backup wire's regression
+  // point): payload-per-chunk is small, so per-stage copies used to dominate
+  // the streaming path. With refcounted slot leases the streaming (DataSource)
+  // run must hold the in-memory ByteSpan run's wall throughput.
+  const std::size_t input_bytes = smoke ? (8u << 20) : (32u << 20);
+  const double bar = smoke ? 0.90 : 0.95;
+  const ByteVec data = random_bytes(input_bytes, 4242);
+
+  core::ShredderConfig cfg;
+  cfg.chunker.window = 32;
+  cfg.chunker.mask_bits = 11;
+  cfg.chunker.marker = 0x42;
+  cfg.chunker.min_size = 512;
+  cfg.chunker.max_size = 8 * 1024;
+  cfg.buffer_bytes = 512u << 10;
+
+  std::vector<chunking::Chunk> span_chunks, stream_chunks;
+  std::uint64_t span_sum = 0, stream_sum = 0;
+  double best_span = 1e300, best_stream = 1e300;
+  // Best-of-N wall time, paths alternating; rep 0 warms allocators/caches
+  // for both and is the run whose streams are cross-checked.
+  const int reps = smoke ? 3 : 4;
+  for (int r = 0; r < reps; ++r) {
+    {
+      core::Shredder shredder(cfg);
+      PayloadProbeSink sink;
+      Stopwatch w;
+      const auto res = shredder.run(as_bytes(data), sink);
+      best_span = std::min(best_span, w.elapsed_seconds());
+      if (r == 0) {
+        span_chunks = res.chunks;
+        span_sum = sink.checksum();
+      }
+    }
+    {
+      core::Shredder shredder(cfg);
+      core::MemorySource source(as_bytes(data),
+                                shredder.config().host.reader_bw);
+      PayloadProbeSink sink;
+      Stopwatch w;
+      const auto res = shredder.run(source, sink);
+      best_stream = std::min(best_stream, w.elapsed_seconds());
+      if (r == 0) {
+        stream_chunks = res.chunks;
+        stream_sum = sink.checksum();
+      }
+    }
+  }
+  const bool identical = span_chunks == stream_chunks && span_sum == stream_sum;
+  const double span_bps = static_cast<double>(input_bytes) / best_span;
+  const double stream_bps = static_cast<double>(input_bytes) / best_stream;
+  const double ratio = stream_bps / span_bps;
+  const bool pass = identical && ratio >= bar;
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"input_bytes\": %llu,\n",
+               static_cast<unsigned long long>(input_bytes));
+  std::fprintf(f, "  \"buffer_bytes\": %llu,\n",
+               static_cast<unsigned long long>(cfg.buffer_bytes));
+  std::fprintf(f, "  \"chunks\": %zu,\n", span_chunks.size());
+  std::fprintf(f, "  \"streams_identical\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "  \"bar\": %.2f,\n", bar);
+  std::fprintf(f, "  \"results\": [\n");
+  std::fprintf(f,
+               "    {\"path\": \"bytespan\", \"wall_seconds\": %.6f, "
+               "\"wall_bps\": %.0f},\n",
+               best_span, span_bps);
+  std::fprintf(f,
+               "    {\"path\": \"streaming\", \"wall_seconds\": %.6f, "
+               "\"wall_bps\": %.0f, \"ratio_vs_bytespan\": %.3f}\n",
+               best_stream, stream_bps, ratio);
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf("in-memory ByteSpan path: %8.1f MB/s wall\n", span_bps / 1e6);
+  std::printf("streaming (DataSource):  %8.1f MB/s wall  (%.3fx, bar %.2fx, "
+              "streams %s)\n",
+              stream_bps / 1e6, ratio, bar,
+              identical ? "identical" : "DIVERGED");
+  std::printf("-> %s\n", path.c_str());
+  if (!pass) {
+    std::fprintf(stderr, "sink_zero_copy: FAILED (%s)\n",
+                 identical ? "ratio below bar" : "stream mismatch");
+    return 1;
+  }
   return 0;
 }
 
@@ -1188,6 +1320,18 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--service_smoke_json=", 21) == 0) {
       return run_service_json(argv[i] + 21, /*smoke=*/true);
+    }
+    if (std::strcmp(argv[i], "--sink_zero_copy_json") == 0) {
+      return run_sink_zero_copy_json("BENCH_sink.json", /*smoke=*/false);
+    }
+    if (std::strncmp(argv[i], "--sink_zero_copy_json=", 22) == 0) {
+      return run_sink_zero_copy_json(argv[i] + 22, /*smoke=*/false);
+    }
+    if (std::strcmp(argv[i], "--sink_zero_copy_smoke_json") == 0) {
+      return run_sink_zero_copy_json("BENCH_sink_smoke.json", /*smoke=*/true);
+    }
+    if (std::strncmp(argv[i], "--sink_zero_copy_smoke_json=", 28) == 0) {
+      return run_sink_zero_copy_json(argv[i] + 28, /*smoke=*/true);
     }
     if (std::strcmp(argv[i], "--fingerprint_json") == 0) {
       return run_fingerprint_json("BENCH_fingerprint.json", /*smoke=*/false);

@@ -33,6 +33,14 @@ compile time is spent. Two invariant families:
    outside the scanned directories, listed here as an explicit allowlist so
    moving them would still pass.
 
+3. Sink isolation. src/core/sink.{h,cc} define the payload-view layer every
+   consumer (service store threads, backup framing, user sinks) builds on;
+   the zero-copy contract (docs/zero_copy.md) only holds if the sink layer
+   never reaches up into its consumers. Any `#include "service/..."` or
+   `#include "backup/..."` there is flagged, even though the module-DAG
+   check would also reject it — this names the specific file and contract
+   so the failure reads as a design violation, not a build-graph typo.
+
 Exit status: 0 = clean, 1 = violations (one line each on stderr),
 2 = usage/internal error. `--self-test` runs the checker over the fixture
 trees in tests/lint_fixtures/ and verifies each violation kind is caught.
@@ -82,6 +90,11 @@ WALL_CLOCK_PATTERNS = [
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
 SOURCE_SUFFIXES = (".h", ".hpp", ".cc", ".cpp")
+
+# Files under src/ that must not include headers from these consumer modules
+# (sink isolation; see docstring point 3).
+SINK_ISOLATION_FILES = ("core/sink.h", "core/sink.cc")
+SINK_FORBIDDEN_MODULES = ("service", "backup")
 
 
 def transitive_closure(direct: dict[str, set[str]]) -> dict[str, set[str]]:
@@ -166,12 +179,35 @@ def check_wall_clock(src: Path) -> list[str]:
     return errors
 
 
+def check_sink_isolation(src: Path) -> list[str]:
+    errors = []
+    for rel_src in SINK_ISOLATION_FILES:
+        path = src / rel_src
+        if not path.is_file():
+            continue
+        for lineno, line in enumerate(
+                path.read_text(errors="replace").splitlines(), 1):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            target = m.group(1).split("/")[0]
+            if target in SINK_FORBIDDEN_MODULES:
+                rel = path.relative_to(src.parent)
+                errors.append(
+                    f"{rel}:{lineno}: sink isolation violation: the payload "
+                    f"view layer may not include \"{m.group(1)}\" — sink.h/cc "
+                    f"must stay independent of its consumers "
+                    f"({', '.join(SINK_FORBIDDEN_MODULES)})")
+    return errors
+
+
 def run_checks(root: Path) -> list[str]:
     src = root / "src"
     if not src.is_dir():
         raise RuntimeError(f"no src/ under {root}")
     assert_acyclic(DIRECT_DEPS)
-    return check_layering(src) + check_wall_clock(src)
+    return (check_layering(src) + check_wall_clock(src)
+            + check_sink_isolation(src))
 
 
 def self_test(repo_root: Path) -> int:
@@ -192,6 +228,7 @@ def self_test(repo_root: Path) -> int:
     expect("clean", 0)
     expect("bad_layering", 1, "layering violation")
     expect("bad_clock", 1, "wall-clock call")
+    expect("bad_sink_dep", 1, "sink isolation")
 
     # The word-boundary regex must not flag identifiers ending in `time`.
     clean_errors = run_checks(fixtures / "clean")

@@ -104,6 +104,14 @@ void BackupAgent::admit_chunk(const dedup::ChunkDigest& digest,
   catalog_offset_ += bytes.size();
 }
 
+void BackupAgent::admit_chunk(const dedup::ChunkDigest& digest,
+                              ByteVec&& bytes) {
+  const std::size_t size = bytes.size();
+  store_.put(digest, std::move(bytes));
+  catalog_->lookup_or_insert(digest, dedup::ChunkLocation{catalog_offset_, size});
+  catalog_offset_ += size;
+}
+
 void BackupAgent::receive(const std::string& image_id,
                           const Message& message) {
   // One-chunk shim over the batch protocol: a pointer is a single
@@ -220,6 +228,24 @@ bool BackupAgent::receive_repair(const dedup::ChunkDigest& digest,
   const std::uint64_t refs = pending->second;
   pending_repair_.erase(pending);
   admit_chunk(digest, payload);  // stores with one reference
+  for (std::uint64_t r = 1; r < refs; ++r) store_.add_ref(digest);
+  return true;
+}
+
+bool BackupAgent::receive_repair(const dedup::ChunkDigest& digest,
+                                 ByteVec&& payload) {
+  const auto pending = pending_repair_.find(digest);
+  if (pending == pending_repair_.end()) {
+    return false;  // duplicated repair frame — already materialized
+  }
+  if (dedup::ChunkHasher::hash(as_bytes(payload)) != digest) {
+    throw ProtocolError(ProtocolViolation::kBadRepairPayload,
+                        "BackupAgent: repair payload does not hash to its "
+                        "digest");
+  }
+  const std::uint64_t refs = pending->second;
+  pending_repair_.erase(pending);
+  admit_chunk(digest, std::move(payload));  // stores with one reference
   for (std::uint64_t r = 1; r < refs; ++r) store_.add_ref(digest);
   return true;
 }

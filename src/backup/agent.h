@@ -137,6 +137,9 @@ class BackupAgent {
   // ProtocolError{kBadRepairPayload} when the payload does not hash to the
   // digest (a corrupt or misdirected repair must not poison the store).
   bool receive_repair(const dedup::ChunkDigest& digest, ByteSpan payload);
+  // Adopting overload: moves the payload into the store (transports that
+  // own the repair buffer hand it over instead of copying).
+  bool receive_repair(const dedup::ChunkDigest& digest, ByteVec&& payload);
 
   // Digests referenced by the image's recipe whose payloads are still
   // repair-pending, deduplicated, in first-reference order. Empty once the
@@ -177,6 +180,7 @@ class BackupAgent {
 
   // Stores a freshly arrived unique chunk and registers it in the catalog.
   void admit_chunk(const dedup::ChunkDigest& digest, ByteSpan bytes);
+  void admit_chunk(const dedup::ChunkDigest& digest, ByteVec&& bytes);
 
   // Shared applier behind both receive paths: `payload` is the concatenated
   // unique-chunk bytes (a view — the wire buffer is never copied).

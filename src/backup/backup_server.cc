@@ -264,7 +264,7 @@ BackupRunStats BackupServer::dedup_and_ship(
       }
     }
     if (config_.batch_link && !wire.digests.empty()) {
-      transport->send_batch(image_id, wire);
+      transport->send_batch(image_id, std::move(wire));
     }
   }
   if (transport) {

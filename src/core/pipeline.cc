@@ -83,9 +83,12 @@ PipelineEngine::PipelineEngine(const PipelineEngineConfig& config,
         &reg.timing("pipeline.stage_seconds", {{"stage", "fingerprint"}});
   }
   if (pipelined()) {
-    ring_.emplace(device_.spec(), config_.ring_slots, config_.slot_bytes);
-    init_seconds_ = ring_->construction_cost_seconds();
-    for (std::size_t i = 0; i < config_.ring_slots; ++i) free_slots_.push_back(i);
+    pool_ = std::make_shared<detail::SlotPool>(
+        device_.spec(), config_.ring_slots, config_.slot_bytes);
+    init_seconds_ = pool_->construction_cost_seconds();
+    if (config_.registry != nullptr) {
+      pool_->set_gauge(&config_.registry->gauge("pipeline.slots_leased"));
+    }
   }
   // Device twin buffers (double buffering, §4.1.1).
   const std::size_t n_twins = pipelined() ? 2 : 1;
@@ -97,14 +100,17 @@ PipelineEngine::PipelineEngine(const PipelineEngineConfig& config,
   kernel_thread_ = std::thread([this] { kernel_loop(); });
 }
 
-PipelineEngine::~PipelineEngine() { stop(); }
+PipelineEngine::~PipelineEngine() {
+  stop();
+  // Consumer-held leases may outlive the engine AND its registry: detach
+  // the gauge so their releases stop touching it. After the joins above no
+  // engine thread can race this.
+  if (pool_ != nullptr) pool_->set_gauge(nullptr);
+}
 
 void PipelineEngine::stop() {
   stopping_.store(true);
-  {
-    MutexLock lock(slot_mutex_);
-  }
-  slot_cv_.notify_all();
+  if (pool_ != nullptr) pool_->stop();
   {
     MutexLock lock(twin_mutex_);
   }
@@ -114,6 +120,10 @@ void PipelineEngine::stop() {
   to_store_.close();
   if (transfer_thread_.joinable()) transfer_thread_.join();
   if (kernel_thread_.joinable()) kernel_thread_.join();
+}
+
+std::size_t PipelineEngine::slots_leased() const {
+  return pool_ != nullptr ? pool_->leased() : 0;
 }
 
 bool PipelineEngine::acquire_twin() {
@@ -141,10 +151,7 @@ void PipelineEngine::record_error_and_unblock() {
     if (!error_) error_ = std::current_exception();
   }
   stopping_.store(true);
-  {
-    MutexLock lock(slot_mutex_);
-  }
-  slot_cv_.notify_all();
+  if (pool_ != nullptr) pool_->stop();
   {
     MutexLock lock(twin_mutex_);
   }
@@ -152,23 +159,6 @@ void PipelineEngine::record_error_and_unblock() {
   to_transfer_.close();
   to_kernel_.close();
   to_store_.close();
-}
-
-std::optional<std::size_t> PipelineEngine::lease_slot() {
-  MutexLock lock(slot_mutex_);
-  while (free_slots_.empty() && !stopping_) slot_cv_.wait(slot_mutex_);
-  if (stopping_) return std::nullopt;
-  const std::size_t slot = free_slots_.back();
-  free_slots_.pop_back();
-  return slot;
-}
-
-void PipelineEngine::release_slot(std::size_t slot) {
-  {
-    MutexLock lock(slot_mutex_);
-    free_slots_.push_back(slot);
-  }
-  slot_cv_.notify_one();
 }
 
 bool PipelineEngine::submit(StreamBuffer buf) {
@@ -181,10 +171,9 @@ bool PipelineEngine::submit(StreamBuffer buf) {
     m_bytes_->add(buf.data.size());  // payload only; carry bytes are repeats
   }
   if (pipelined() && !buf.eos) {
-    const auto slot = lease_slot();
+    const auto slot = pool_->acquire();
     if (!slot.has_value()) return false;
-    item.slot = *slot;
-    auto span = ring_->slot_span(item.slot);
+    auto span = pool_->slot_span(*slot);
     SHREDDER_CHECK(item.data_len <= span.size());
     if (!buf.carry_prefix.empty()) {
       std::memcpy(span.data(), buf.carry_prefix.data(),
@@ -194,23 +183,12 @@ bool PipelineEngine::submit(StreamBuffer buf) {
       std::memcpy(span.data() + buf.carry_prefix.size(), buf.data.data(),
                   buf.data.size());
     }
+    // The staged bytes live in the pinned slot now; the lease is the ONLY
+    // host copy, travelling with the item all the way to the consumer as
+    // BoundaryBatch::payload. No second splice, no return_payload copy.
+    item.lease = SlotLease::from_slot(pool_, *slot, item.data_len);
     buf.carry += buf.carry_prefix.size();
-    if (config_.return_payload) {
-      // Keep a host copy of the staged bytes for the batch; with a carry
-      // prefix the two pieces must be spliced into the one contiguous span
-      // BoundaryBatch::payload promises.
-      if (!buf.carry_prefix.empty()) {
-        ByteVec staged;
-        staged.reserve(item.data_len);
-        staged.insert(staged.end(), buf.carry_prefix.begin(),
-                      buf.carry_prefix.end());
-        staged.insert(staged.end(), buf.data.begin(), buf.data.end());
-        buf.data = std::move(staged);
-      }
-    } else {
-      // The staged bytes now live in the pinned slot; drop the host copies.
-      buf.data = ByteVec{};
-    }
+    buf.data = ByteVec{};
     buf.carry_prefix = ByteVec{};
   } else if (!buf.eos && !buf.carry_prefix.empty()) {
     // Basic (pageable) mode DMAs straight from host memory, which must be
@@ -225,12 +203,9 @@ bool PipelineEngine::submit(StreamBuffer buf) {
     buf.data = std::move(staged);
   }
   item.meta = std::move(buf);
-  const std::size_t leased = item.slot;
-  if (!to_transfer_.push(std::move(item))) {
-    if (leased != kNoSlot) release_slot(leased);
-    return false;
-  }
-  return true;
+  // On push failure the moved-from item is destroyed inside push(); its
+  // lease drops and the slot recycles automatically.
+  return to_transfer_.push(std::move(item));
 }
 
 void PipelineEngine::close() { to_transfer_.close(); }
@@ -243,22 +218,17 @@ void PipelineEngine::transfer_loop() {
         if (!to_kernel_.push(std::move(*item))) return;
         continue;
       }
-      const ByteSpan dma_src =
-          item->slot != kNoSlot
-              ? ByteSpan{ring_->slot_span(item->slot).data(), item->data_len}
-              : ByteSpan{item->meta.data.data(), item->data_len};
+      const ByteSpan dma_src = item->lease
+                                   ? item->lease.bytes()
+                                   : ByteSpan{item->meta.data.data(),
+                                              item->data_len};
       if (!acquire_twin()) return;
       item->dev_slot = next_twin;
       next_twin = (next_twin + 1) % twins_.size();
       item->transfer_seconds =
           device_.memcpy_h2d(twins_[item->dev_slot], 0, dma_src, host_kind_);
-      if (item->slot != kNoSlot) {
-        release_slot(item->slot);
-        item->slot = kNoSlot;
-      }
-      if (!config_.return_payload) {
-        item->meta.data = ByteVec{};  // payload now lives on the device
-      }
+      // The slot is NOT released here: the lease rides to the kernel stage
+      // and out with the batch, recycling when its last holder drops it.
       if (!to_kernel_.push(std::move(*item))) return;
     }
     to_kernel_.close();
@@ -359,10 +329,13 @@ void PipelineEngine::kernel_loop() {
           m_fingerprint_s_->observe(batch.stages.fingerprint);
         }
       }
-      if (config_.return_payload) {
-        batch.payload = std::move(item->meta.data);
-        batch.payload_carry = item->meta.carry;
-      }
+      // The staged bytes always ride back with the batch: slot-backed lease
+      // in streams modes, the already-spliced host vector in basic mode.
+      // Non-retaining consumers drop the batch and the storage frees itself.
+      batch.payload = item->lease
+                          ? std::move(item->lease)
+                          : SlotLease::from_owned(std::move(item->meta.data));
+      batch.payload_carry = item->meta.carry;
       release_twin();
       if (!to_store_.push(std::move(batch))) return;
     }

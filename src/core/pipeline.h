@@ -12,9 +12,9 @@
 // flight, exactly like Figure 8's ring):
 //
 //   submit() ──copy into leased pinned slot──► transfer thread
-//     (H2D DMA into a free device twin, slot lease released)
+//     (H2D DMA into a free device twin)
 //   ──► kernel thread (chunk_on_gpu [+ fingerprint_on_gpu]) ──►
-//       next_batch() on the caller
+//       next_batch() on the caller (batch carries the slot's SlotLease)
 //
 // With config.fingerprint set, the kernel thread runs a second device
 // kernel per buffer: it resolves the final (min/max-filtered) chunk ends on
@@ -25,7 +25,13 @@
 //
 // Pinned-ring slots are *leased*: submit() blocks while every slot is in
 // flight, which is the engine-level backpressure the service relies on when
-// clients outrun the device.
+// clients outrun the device. A slot stays leased until the LAST SlotLease
+// referencing it drops (core/lease.h) — every BoundaryBatch carries its
+// buffer's staged bytes as a refcounted lease, so consumers that retain
+// payload windows (rolling PayloadTail, the service's dedup store path)
+// alias the pinned slot directly instead of copying, and a consumer that
+// holds leases too long simply extends the same backpressure to producers.
+// The pipeline.slots_leased gauge tracks the outstanding count.
 #pragma once
 
 #include <atomic>
@@ -43,6 +49,7 @@
 #include "common/mutex.h"
 #include "common/queue.h"
 #include "core/kernels.h"
+#include "core/lease.h"
 #include "dedup/digest.h"
 #include "gpusim/device.h"
 #include "gpusim/pinned.h"
@@ -112,11 +119,14 @@ struct BoundaryBatch {
   gpu::KernelRunStats kernel_stats;
   gpu::KernelRunStats fingerprint_stats;
   std::uint64_t payload_end = 0;  // absolute end offset covered so far
-  // With config.return_payload set, the staged bytes ride back with the
-  // batch: payload covers [payload_end - payload.size(), payload_end), and
+  // The buffer's staged bytes, riding back with the batch as a refcounted
+  // lease: payload covers [payload_end - payload.size(), payload_end), and
   // its first payload_carry bytes are window context repeated from the
-  // previous buffer. Empty otherwise.
-  ByteVec payload;
+  // previous buffer. Slot-backed in streams modes (zero-copy view of the
+  // pinned slot; the slot recycles when the last lease drops), an owned
+  // vector in basic mode. Consumers that don't retain payloads just drop
+  // the batch and the storage frees itself. Empty on eos batches.
+  SlotLease payload;
   std::size_t payload_carry = 0;
   // Scheduler context echoed from the StreamBuffer (see StreamBuffer).
   double sched_credit = 0;
@@ -157,14 +167,10 @@ struct PipelineEngineConfig {
   // buffer and the digests ride back with the batch. Requires producers to
   // submit an eos StreamBuffer per stream (the trailing chunk closes there).
   bool fingerprint = false;
-  // Keep a host copy of every buffer's staged bytes and return it in
-  // BoundaryBatch::payload, so consumers (payload-slicing ChunkSinks, the
-  // service's dedup chunk store) can read chunk bytes at the store stage.
-  // Costs one payload-sized host copy per buffer; off by default.
-  bool return_payload = false;
   // Optional metrics registry (borrowed; must outlive the engine). The
-  // engine publishes pipeline.buffers_total / pipeline.bytes_total and the
-  // per-stage virtual-second timings. Null => no metrics, zero cost.
+  // engine publishes pipeline.buffers_total / pipeline.bytes_total, the
+  // per-stage virtual-second timings and the pipeline.slots_leased gauge.
+  // Null => no metrics, zero cost.
   obs::Registry* registry = nullptr;
 
   void validate() const;
@@ -205,15 +211,17 @@ class PipelineEngine {
   double init_seconds() const noexcept { return init_seconds_; }
   std::size_t ring_slots() const noexcept { return config_.ring_slots; }
   bool pipelined() const noexcept { return config_.mode != GpuMode::kBasic; }
+  // Pinned slots currently held by a lease — in-flight pipeline items plus
+  // whatever consumers retain. 0 in basic mode and after full drains.
+  std::size_t slots_leased() const;
 
  private:
-  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
-
   // A StreamBuffer whose payload has been staged into a leased pinned slot
-  // (streams modes) or left in `meta.data` (basic mode).
+  // (streams modes; `lease` keeps the slot alive through DMA and beyond) or
+  // left in `meta.data` (basic mode).
   struct StagedItem {
     StreamBuffer meta;
-    std::size_t slot = kNoSlot;
+    SlotLease lease;
     std::size_t data_len = 0;
     std::size_t dev_slot = 0;
     double transfer_seconds = 0;
@@ -229,8 +237,6 @@ class PipelineEngine {
   void finish_fingerprint(std::uint32_t stream_id, std::uint64_t total,
                           BoundaryBatch& batch);
 
-  std::optional<std::size_t> lease_slot();
-  void release_slot(std::size_t slot);
   bool acquire_twin();
   void release_twin();
   void record_error_and_unblock();
@@ -253,11 +259,11 @@ class PipelineEngine {
   gpu::HostMemKind host_kind_;
   double init_seconds_ = 0;
 
-  std::optional<gpu::PinnedRing> ring_;
-  Mutex slot_mutex_;
-  CondVar slot_cv_;
-  std::vector<std::size_t> free_slots_ GUARDED_BY(slot_mutex_);
-  std::atomic<bool> stopping_{false};  // wakes slot/twin waiters at shutdown
+  // The pinned ring + free-slot accounting, shared with every slot-backed
+  // lease so consumer-held leases outlive the engine safely. Null in basic
+  // mode (no ring; payloads travel as owned vectors).
+  std::shared_ptr<detail::SlotPool> pool_;
+  std::atomic<bool> stopping_{false};  // wakes twin waiters at shutdown
 
   std::vector<gpu::DeviceBuffer> twins_;
   Mutex twin_mutex_;

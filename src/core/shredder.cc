@@ -41,7 +41,7 @@ ShredderResult Shredder::run_impl(DataSource& source, ChunkSink* sink,
   const std::size_t carry_bytes = config_.chunker.window - 1;
   const bool pipelined = config_.mode != GpuMode::kBasic;
   const bool fingerprint = config_.fingerprint_on_device;
-  // Streaming sources only retain payload bytes when the sink asks; an
+  // Streaming sources only retain payload leases when the sink asks; an
   // in-memory `whole` span provides views for free.
   const bool rolling =
       whole.empty() && sink != nullptr && sink->wants_payload();
@@ -52,7 +52,6 @@ ShredderResult Shredder::run_impl(DataSource& source, ChunkSink* sink,
   engine_cfg.ring_slots = config_.ring_slots;
   engine_cfg.kernel = config_.kernel;
   engine_cfg.fingerprint = fingerprint;
-  engine_cfg.return_payload = rolling;
   engine_cfg.registry = config_.registry;
   PipelineEngine engine(engine_cfg, *device_, tables_, config_.chunker);
   result.init_seconds = engine.init_seconds();
@@ -81,7 +80,11 @@ ShredderResult Shredder::run_impl(DataSource& source, ChunkSink* sink,
 
   // Batch delivery to the sink: one ChunkBatchView per buffer that finalized
   // chunks (spans over the tails of `chunks`/`digests`), plus one eos batch.
-  PayloadTail tail;             // rolling payload window (streaming sinks)
+  PayloadTail tail;             // rolling lease window (streaming sinks)
+  // Single consumer draining the engine directly: park up to the
+  // recommended number of slots in the tail for zero-copy views while
+  // always leaving the pipeline a slot to circulate.
+  tail.set_slot_cap(PayloadTail::recommended_slot_cap(config_.ring_slots));
   std::uint64_t batch_seq = 0;
   const auto deliver = [&](std::size_t first, bool eos) {
     if (sink == nullptr) return;
@@ -99,8 +102,9 @@ ShredderResult Shredder::run_impl(DataSource& source, ChunkSink* sink,
       view.payload = whole;
       view.payload_base = 0;
     } else if (rolling) {
-      view.payload = tail.bytes();
-      view.payload_base = tail.base();
+      view.payload = tail.window();
+      view.payload_base = tail.window_base();
+      view.tail = &tail;
     }
     sink->on_batch(view);
   };
@@ -180,7 +184,9 @@ ShredderResult Shredder::run_impl(DataSource& source, ChunkSink* sink,
       continue;
     }
     if (rolling && !batch->payload.empty()) {
-      tail.append(as_bytes(batch->payload), batch->payload_carry);
+      // Zero-copy retention: the batch's lease moves into the tail, keeping
+      // the pinned slot (or basic-mode vector) alive for payload views.
+      tail.append(std::move(batch->payload), batch->payload_carry);
     }
     // Copy boundaries (and digests) back device -> host, then resolve
     // chunks: min/max filter here, or the engine's pre-cut chunk ends.

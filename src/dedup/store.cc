@@ -24,6 +24,23 @@ PutOutcome ChunkStore::put(const ChunkDigest& digest, ByteSpan data) {
   return PutOutcome::kInserted;
 }
 
+PutOutcome ChunkStore::put(const ChunkDigest& digest, ByteVec&& data) {
+#ifndef NDEBUG
+  SHREDDER_CHECK_MSG(ChunkHasher::hash(as_bytes(data)) == digest,
+                     "ChunkStore::put digest mismatch");
+#endif
+  const std::size_t size = data.size();
+  MutexLock lock(mutex_);
+  ++total_refs_;
+  auto [it, inserted] = chunks_.try_emplace(digest, Entry{std::move(data), 1});
+  if (!inserted) {
+    ++it->second.refs;
+    return PutOutcome::kRefAdded;
+  }
+  unique_bytes_ += size;
+  return PutOutcome::kInserted;
+}
+
 std::optional<ByteVec> ChunkStore::get(const ChunkDigest& digest) const {
   MutexLock lock(mutex_);
   const auto it = chunks_.find(digest);

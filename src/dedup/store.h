@@ -30,6 +30,10 @@ class ChunkStore {
   // `data` — checked in debug builds, including digests precomputed on the
   // device by the fingerprint stage.
   PutOutcome put(const ChunkDigest& digest, ByteSpan data);
+  // Adopting overload: moves `data` into the store when the chunk is new,
+  // avoiding the copy on the zero-copy wire path. On kRefAdded the vector
+  // is simply dropped.
+  PutOutcome put(const ChunkDigest& digest, ByteVec&& data);
 
   // Copy of the chunk payload, or nullopt if unknown.
   std::optional<ByteVec> get(const ChunkDigest& digest) const;

@@ -66,8 +66,6 @@ ChunkingService::ChunkingService(ServiceConfig config)
   engine_cfg.ring_slots = config_.ring_slots;
   engine_cfg.kernel = config_.kernel;
   engine_cfg.fingerprint = config_.fingerprint_on_device;
-  // Storing unique payloads needs the staged bytes back at the store stage.
-  engine_cfg.return_payload = config_.dedup_on_store;
   engine_cfg.registry = registry_;
   engine_ = std::make_unique<core::PipelineEngine>(engine_cfg, *device_,
                                                    tables_, config_.chunker);
@@ -110,15 +108,6 @@ ChunkingService::StreamId ChunkingService::open(TenantOptions opts) {
   }
   if (opts.weight == 0) {
     throw std::invalid_argument("ChunkingService: weight must be >= 1");
-  }
-  // The engine's payload retention is fixed at construction (dedup_on_store),
-  // so a sink that slices payloads cannot be honored on a non-retaining
-  // service — reject it instead of silently delivering empty views.
-  if (opts.sink != nullptr && opts.sink->wants_payload() &&
-      !config_.dedup_on_store) {
-    throw std::invalid_argument(
-        "ChunkingService: sink wants payload views but the service retains "
-        "none (requires dedup_on_store)");
   }
   auto session = std::make_unique<Session>();
   const StreamId id = next_id_++;
@@ -164,6 +153,14 @@ ChunkingService::StreamId ChunkingService::open(TenantOptions opts) {
         session->opts.on_chunk, session->opts.on_digest);
     session->sink = session->adapter.get();
   }
+  // Every batch carries its staged bytes as a refcounted lease, so honoring
+  // wants_payload() is per-session and free — including for tenants opened
+  // mid-run. Cap 0: the store thread never parks pinned slots in a tenant
+  // tail across batches (see Session::retain).
+  session->retain =
+      config_.dedup_on_store ||
+      (session->sink != nullptr && session->sink->wants_payload());
+  session->tail.set_slot_cap(0);
   sessions_.emplace(id, std::move(session));
   ++open_sessions_;
   ++aggregate_.n_tenants;
@@ -427,12 +424,13 @@ void ChunkingService::store_loop() {
                       "ChunkingService: duplicate chunk missing from store");
                 } else {
                   SHREDDER_CHECK_MSG(
-                      c.offset >= s->tail.base() &&
-                          c.end() <= s->tail.base() + s->tail.bytes().size(),
+                      c.offset >= s->tail.base() && c.end() <= s->tail.end(),
                       "ChunkingService: chunk outside the rolling tail");
-                  const ByteSpan bytes = s->tail.bytes().subspan(
-                      static_cast<std::size_t>(c.offset - s->tail.base()),
-                      static_cast<std::size_t>(c.size));
+                  // Usually a direct alias of the leased slot; spliced only
+                  // for chunks spanning buffers. The put() below is then
+                  // the unique byte's single copy: leased slot -> store.
+                  const ByteSpan bytes = s->tail.slice(
+                      c.offset, static_cast<std::size_t>(c.size));
                   next_store_offset_ += c.size;
                   if (store_->put(d, bytes) == dedup::PutOutcome::kInserted) {
                     s->report.stored_bytes += c.size;
@@ -447,9 +445,10 @@ void ChunkingService::store_loop() {
       };
       const std::size_t batch_first = s->chunks.size();
       // Extend the rolling tail before emitting: chunk payload slices and
-      // sink views read from it.
-      if (!batch->payload.empty()) {
-        s->tail.append(as_bytes(batch->payload), batch->payload_carry);
+      // sink views read from it. The lease moves in — zero-copy — and
+      // non-retaining sessions drop it with the batch instead.
+      if (s->retain && !batch->payload.empty()) {
+        s->tail.append(std::move(batch->payload), batch->payload_carry);
       }
       if (batch->eos) {
         // The trailing chunk's digest still crosses the bus: extend the
@@ -619,8 +618,9 @@ void ChunkingService::deliver_batch(Session& s, std::size_t first, bool eos) {
           std::span<const dedup::ChunkDigest>(s.digests).subspan(first);
     }
     if (!s.tail.empty()) {
-      view.payload = s.tail.bytes();
-      view.payload_base = s.tail.base();
+      view.payload = s.tail.window();
+      view.payload_base = s.tail.window_base();
+      view.tail = &s.tail;
     }
     s.sink->on_batch(view);
   }

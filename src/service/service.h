@@ -177,9 +177,11 @@ struct TenantOptions {
   // Batch-first consumer: one ChunkBatchView per drained buffer that
   // finalized chunks plus an eos batch, delivered on the store thread in
   // stream order. Not owned; must outlive the session. Payload views ride
-  // when the service retains payload bytes (dedup_on_store); a sink whose
-  // wants_payload() is true is rejected by open() on a non-retaining
-  // service. When a sink is set the per-chunk callbacks below are ignored.
+  // whenever the sink wants_payload() (per-session retention is a
+  // refcounted slot lease, core/lease.h — no copy, so any tenant may ask,
+  // including ones opened mid-run) or the service stores payloads
+  // (dedup_on_store). When a sink is set the per-chunk callbacks below are
+  // ignored.
   ChunkSink* sink = nullptr;
   // Per-chunk shims (wrapped in a PerChunkAdapter over the batch path).
   ChunkCallback on_chunk;    // invoked on the store thread, in stream order
@@ -353,11 +355,16 @@ class ChunkingService {
     std::vector<dedup::ChunkDigest> digests;  // fingerprint mode, 1:1 chunks
     // Batch delivery: the consumer sink (opts.sink, or the adapter wrapping
     // the per-chunk callbacks), the delivered-batch ordinal, and — when the
-    // engine returns payloads — the rolling window of stream bytes from
-    // which chunk payloads are sliced.
+    // session retains payloads — the rolling lease window from which chunk
+    // payloads are sliced. `retain` is fixed at open(): dedup_on_store
+    // services always retain (the store slices unique chunks), otherwise
+    // only sessions whose sink wants_payload(). The tail runs with slot
+    // cap 0 so no tenant parks pinned slots across batches — N sessions
+    // each holding under-cap leases could otherwise starve the shared ring.
     ChunkSink* sink = nullptr;
     std::unique_ptr<PerChunkAdapter> adapter;
     std::uint64_t batch_seq = 0;
+    bool retain = false;
     PayloadTail tail;
     TenantReport report;
     double ready_v = 0;         // cumulative modelled client-produce time

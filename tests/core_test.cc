@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
 
 #include "chunking/cdc.h"
 #include "core/kernels.h"
@@ -524,6 +528,178 @@ TEST(Pipeline, BatchedDigestReadbackLeavesDigestsUnchanged) {
         << "chunk " << i;
   }
   EXPECT_GT(result.mean_stage_seconds.store, 0.0);
+}
+
+// --- Zero-copy slot leases ---
+
+TEST(SlotLease, SharesSlotUntilLastReferenceDrops) {
+  auto pool = std::make_shared<detail::SlotPool>(gpu::DeviceSpec{},
+                                                 /*slots=*/2, /*slot_size=*/64);
+  EXPECT_EQ(pool->leased(), 0u);
+  const auto slot = pool->acquire();
+  ASSERT_TRUE(slot.has_value());
+  std::memset(pool->slot_span(*slot).data(), 7, 64);
+  {
+    SlotLease lease = SlotLease::from_slot(pool, *slot, 16);
+    EXPECT_TRUE(lease.slot_backed());
+    EXPECT_EQ(lease.size(), 16u);
+    EXPECT_EQ(pool->leased(), 1u);
+    SlotLease copy = lease;  // shares the slot, no second lease charge
+    const SlotLease moved = std::move(lease);
+    EXPECT_TRUE(lease.empty());  // moved-from holds no stale view
+    EXPECT_EQ(pool->leased(), 1u);
+    EXPECT_EQ(moved.bytes()[0], 7);
+    EXPECT_EQ(copy.bytes().data(), moved.bytes().data());
+  }
+  EXPECT_EQ(pool->leased(), 0u);  // last reference dropped -> slot recycled
+  ASSERT_TRUE(pool->acquire().has_value());  // and acquirable again
+
+  const SlotLease owned = SlotLease::from_owned(ByteVec{1, 2, 3});
+  EXPECT_FALSE(owned.slot_backed());
+  EXPECT_EQ(owned.size(), 3u);
+  EXPECT_FALSE(SlotLease{}.slot_backed());
+}
+
+TEST(SlotPool, StopWakesWaitersAndRefusesNewLeases) {
+  auto pool = std::make_shared<detail::SlotPool>(gpu::DeviceSpec{}, 1, 64);
+  const auto slot = pool->acquire();
+  ASSERT_TRUE(slot.has_value());
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    EXPECT_FALSE(pool->acquire().has_value());  // blocked, then stopped
+    woke.store(true);
+  });
+  pool->stop();
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+  pool->release(*slot);                       // outstanding slots still return
+  EXPECT_FALSE(pool->acquire().has_value());  // but nothing new is handed out
+}
+
+// Engine-level regression for the double-splice bug: every batch's payload
+// must be byte-identical to carry_prefix ++ data as submitted, in both the
+// slot-backed (streams) and owned (basic) representations.
+class PipelinePayloadModes : public ::testing::TestWithParam<GpuMode> {};
+
+TEST_P(PipelinePayloadModes, BatchPayloadIsCarryPrefixPlusData) {
+  const auto chunker = small_chunker();
+  const rabin::RabinTables tables(chunker.window);
+  gpu::Device device(gpu::DeviceSpec{}, 2);
+  PipelineEngineConfig cfg;
+  cfg.mode = GetParam();
+  cfg.slot_bytes = 8192;
+  cfg.ring_slots = 3;
+  cfg.kernel.blocks = 4;
+  cfg.kernel.threads_per_block = 16;
+  PipelineEngine engine(cfg, device, tables, chunker);
+
+  const auto data = random_bytes(3 * 4096, 91);
+  const std::size_t carry = chunker.window - 1;
+  std::vector<ByteVec> expect_staged;
+  std::vector<std::size_t> expect_carry;
+  for (std::size_t i = 0; i < 3; ++i) {
+    StreamBuffer buf;
+    buf.seq = i;
+    const std::size_t pos = i * 4096;
+    buf.base_offset = i == 0 ? 0 : pos - carry;
+    if (i == 1) {
+      // Carry staged inside `data`, the AsyncReader shape.
+      buf.carry = carry;
+      buf.data.assign(data.begin() + static_cast<std::ptrdiff_t>(pos - carry),
+                      data.begin() + static_cast<std::ptrdiff_t>(pos + 4096));
+    } else {
+      // Carry as a separate prefix, the service-scheduler shape — the
+      // layout the double host splice corrupted-by-copy.
+      if (i > 0) {
+        buf.carry_prefix.assign(
+            data.begin() + static_cast<std::ptrdiff_t>(pos - carry),
+            data.begin() + static_cast<std::ptrdiff_t>(pos));
+      }
+      buf.data.assign(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                      data.begin() + static_cast<std::ptrdiff_t>(pos + 4096));
+    }
+    expect_staged.emplace_back(
+        data.begin() + static_cast<std::ptrdiff_t>(buf.base_offset),
+        data.begin() + static_cast<std::ptrdiff_t>(pos + 4096));
+    expect_carry.push_back(i == 0 ? 0 : carry);
+    ASSERT_TRUE(engine.submit(std::move(buf)));
+  }
+  StreamBuffer eos;
+  eos.seq = 3;
+  eos.eos = true;
+  ASSERT_TRUE(engine.submit(std::move(eos)));
+  engine.close();
+
+  std::size_t i = 0;
+  while (auto batch = engine.next_batch()) {
+    if (batch->eos) continue;
+    ASSERT_LT(i, expect_staged.size());
+    EXPECT_EQ(batch->payload.slot_backed(), engine.pipelined());
+    ASSERT_EQ(batch->payload.size(), expect_staged[i].size());
+    EXPECT_EQ(std::memcmp(batch->payload.bytes().data(),
+                          expect_staged[i].data(), expect_staged[i].size()),
+              0)
+        << "buffer " << i;
+    EXPECT_EQ(batch->payload_carry, expect_carry[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, 3u);
+  EXPECT_EQ(engine.slots_leased(), 0u);  // every lease dropped with its batch
+}
+
+INSTANTIATE_TEST_SUITE_P(BasicAndStreams, PipelinePayloadModes,
+                         ::testing::Values(GpuMode::kBasic, GpuMode::kStreams,
+                                           GpuMode::kStreamsCoalesced));
+
+TEST(Pipeline, LeaseHoldersExtendBackpressureWithoutLeaking) {
+  // A consumer sitting on a batch's lease keeps the slot out of circulation:
+  // with a 1-slot ring the producer cannot stage buffer i+1 until batch i's
+  // lease drops. The slots_leased gauge tracks the outstanding count.
+  const auto chunker = small_chunker();
+  const rabin::RabinTables tables(chunker.window);
+  gpu::Device device(gpu::DeviceSpec{}, 2);
+  obs::Registry registry;
+  PipelineEngineConfig cfg;
+  cfg.mode = GpuMode::kStreams;
+  cfg.slot_bytes = 4096;
+  cfg.ring_slots = 1;
+  cfg.kernel.blocks = 4;
+  cfg.kernel.threads_per_block = 16;
+  cfg.registry = &registry;
+  PipelineEngine engine(cfg, device, tables, chunker);
+
+  const auto data = random_bytes(3 * 2048, 93);
+  std::atomic<std::size_t> submitted{0};
+  std::thread producer([&] {
+    for (std::size_t i = 0; i < 3; ++i) {
+      StreamBuffer buf;
+      buf.seq = i;
+      buf.base_offset = i * 2048;
+      buf.data.assign(data.begin() + static_cast<std::ptrdiff_t>(i * 2048),
+                      data.begin() + static_cast<std::ptrdiff_t>((i + 1) * 2048));
+      if (!engine.submit(std::move(buf))) break;
+      submitted.fetch_add(1);
+    }
+    engine.close();
+  });
+
+  auto first = engine.next_batch();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_FALSE(first->eos);
+  // While we hold the only slot's lease, the producer is stuck staging
+  // buffer 1 (buffer 0's submit was the one that went through).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(submitted.load(), 1u);
+  EXPECT_EQ(engine.slots_leased(), 1u);
+  EXPECT_EQ(registry.gauge("pipeline.slots_leased").value(), 1.0);
+
+  first.reset();  // drop the lease: the ring slot recycles, the producer runs
+  while (auto batch = engine.next_batch()) {
+  }
+  producer.join();
+  EXPECT_EQ(submitted.load(), 3u);
+  EXPECT_EQ(engine.slots_leased(), 0u);
+  EXPECT_EQ(registry.gauge("pipeline.slots_leased").value(), 0.0);
 }
 
 }  // namespace

@@ -10,11 +10,14 @@
 //    regression holds the >=1.5x link-stage win over per-chunk framing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "backup/backup_server.h"
 #include "common/rng.h"
+#include "core/lease.h"
 #include "core/shredder.h"
 #include "service/service.h"
 
@@ -97,6 +100,127 @@ TEST(ChunkBatchView, ChunkBytesSlicesAndBoundsChecks) {
   EXPECT_EQ(std::memcmp(inside.data(), data.data() + (100 - 64), 50), 0);
   EXPECT_TRUE(view.chunk_bytes(1).empty());
   EXPECT_TRUE(view.chunk_bytes(2).empty());
+}
+
+TEST(ChunkBatchView, ChunkBytesResolvesThroughTheTail) {
+  // Two retained buffers overlapping by a 10-byte carry; the view's
+  // contiguous payload is the newest one.
+  const ByteVec data = random_bytes(300, 41);
+  PayloadTail tail;
+  tail.append(ByteSpan{data.data(), 200}, 0);
+  tail.append(ByteSpan{data.data() + 190, 110}, 10);
+  ChunkBatchView view;
+  const std::vector<chunking::Chunk> chunks = {
+      {190, 50},   // exactly flush with payload_base: direct subspan
+      {150, 80},   // straddles the window start: spliced from both segments
+      {100, 50},   // entirely in the older segment: aliased through the tail
+      {280, 40},   // runs past the stream end
+  };
+  view.chunks = chunks;
+  view.payload = tail.window();
+  view.payload_base = tail.window_base();
+  view.tail = &tail;
+  EXPECT_EQ(view.payload_base, 190u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const ByteSpan bytes = view.chunk_bytes(i);
+    ASSERT_EQ(bytes.size(), chunks[i].size) << "chunk " << i;
+    EXPECT_EQ(std::memcmp(bytes.data(),
+                          data.data() + static_cast<std::size_t>(chunks[i].offset),
+                          bytes.size()),
+              0)
+        << "chunk " << i;
+  }
+  EXPECT_TRUE(view.chunk_bytes(3).empty());
+  // An empty final batch still resolves (to nothing) without a payload.
+  ChunkBatchView eos;
+  eos.eos = true;
+  eos.tail = &tail;
+  EXPECT_FALSE(eos.has_payload());
+  EXPECT_TRUE(eos.chunks.empty());
+}
+
+TEST(PayloadTail, AppendAndTrimKeepTheWindowBoundedAndOrdered) {
+  const ByteVec data = random_bytes(1000, 43);
+  PayloadTail tail;
+  EXPECT_TRUE(tail.empty());
+  EXPECT_EQ(tail.base(), 0u);
+  EXPECT_EQ(tail.end(), 0u);
+  const std::size_t kBuf = 100, kCarry = 10;
+  std::uint64_t prev_base = 0;
+  for (std::size_t pos = 0; pos < data.size(); pos += kBuf) {
+    const std::size_t carry = pos == 0 ? 0 : kCarry;
+    tail.append(ByteSpan{data.data() + pos - carry, carry + kBuf}, carry);
+    // end tracks the stream; base never moves backwards.
+    EXPECT_EQ(tail.end(), pos + kBuf);
+    EXPECT_GE(tail.base(), prev_base);
+    prev_base = tail.base();
+    // The producer invariant: trim to the "open chunk" start, here one and
+    // a half buffers back. Retention stays bounded by open chunk + buffer.
+    const std::uint64_t keep =
+        tail.end() > 150 ? tail.end() - 150 : 0;
+    tail.trim(keep);
+    EXPECT_LE(tail.base(), keep);
+    EXPECT_LE(tail.end() - tail.base(), 150 + kBuf + kCarry);
+    // Every retained byte still reads back exactly.
+    const std::size_t len = static_cast<std::size_t>(tail.end() - keep);
+    const ByteSpan bytes = tail.slice(keep, len);
+    ASSERT_EQ(bytes.size(), len);
+    EXPECT_EQ(std::memcmp(bytes.data(),
+                          data.data() + static_cast<std::size_t>(keep), len),
+              0);
+    // Out-of-window requests answer empty, not garbage.
+    EXPECT_TRUE(tail.slice(tail.end(), 1).empty());
+    if (tail.base() > 0) {
+      EXPECT_TRUE(tail.slice(tail.base() - 1, 2).empty());
+    }
+  }
+  // Trimming to the stream end empties the window entirely.
+  tail.trim(tail.end());
+  EXPECT_TRUE(tail.empty());
+  EXPECT_EQ(tail.base(), tail.end());
+}
+
+TEST(PayloadTail, SlotCapCompactionReleasesPinnedSlots) {
+  // Slot-backed segments beyond the cap compact into owned copies at trim,
+  // releasing their ring slots while preserving the retained bytes.
+  auto pool = std::make_shared<core::detail::SlotPool>(gpu::DeviceSpec{},
+                                                       /*slots=*/4,
+                                                       /*slot_size=*/128);
+  const ByteVec data = random_bytes(3 * 128, 47);
+  PayloadTail tail;
+  tail.set_slot_cap(1);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto slot = pool->acquire();
+    ASSERT_TRUE(slot.has_value());
+    auto span = pool->slot_span(*slot);
+    std::memcpy(span.data(), data.data() + i * 128, 128);
+    tail.append(core::SlotLease::from_slot(pool, *slot, 128), 0);
+  }
+  EXPECT_EQ(tail.slot_leases(), 3u);
+  EXPECT_EQ(pool->leased(), 3u);
+  tail.trim(/*keep_from=*/100);  // keeps all three segments alive
+  // Compaction narrows the oldest segments to their retained suffix.
+  EXPECT_EQ(tail.base(), 100u);
+  EXPECT_LE(tail.slot_leases(), 1u);
+  EXPECT_LE(pool->leased(), 1u);
+  // Compaction must not change what the window reads as.
+  const ByteSpan bytes = tail.slice(100, 3 * 128 - 100);
+  ASSERT_EQ(bytes.size(), 3u * 128 - 100);
+  EXPECT_EQ(std::memcmp(bytes.data(), data.data() + 100, bytes.size()), 0);
+  tail.trim(tail.end());
+  EXPECT_EQ(pool->leased(), 0u);
+}
+
+TEST(PayloadTailDeathTest, RejectsCarryBeyondTheStagedBuffer) {
+  // Regression: append() used to compute staged.begin() + carry unchecked;
+  // a carry past the staged size walked off the buffer.
+  const ByteVec staged = random_bytes(16, 3);
+  PayloadTail tail;
+  EXPECT_DEATH(tail.append(as_bytes(staged), staged.size() + 1),
+               "carry exceeds the staged buffer");
+  // A carry reaching before the stream start is equally out of protocol.
+  EXPECT_DEATH(tail.append(as_bytes(staged), 1),
+               "carry reaches before the stream start");
 }
 
 TEST(PerChunkAdapter, ReplaysBatchAsPerChunkUpcalls) {
@@ -269,16 +393,47 @@ TEST(ServiceSink, CallbackShimMatchesBatchPath) {
   }
 }
 
-TEST(ServiceSink, PayloadWantingSinkRequiresRetention) {
-  // The engine's payload retention is fixed at service construction; a
-  // payload-slicing sink on a non-retaining service must be rejected loudly
-  // instead of silently receiving empty views.
+TEST(ServiceSink, PayloadWantingSinkGetsViewsWithoutStoreRetention) {
+  // Retention is a per-session lease window now, not a service-wide engine
+  // flag: a payload-slicing sink on a non-storing service gets real views,
+  // including one opened mid-run while another stream is already in flight.
   service::ChunkingService svc(small_service_config(/*fingerprint=*/true));
-  RecordingSink sink(/*want_payload=*/true);
-  service::TenantOptions opts;
-  opts.sink = &sink;
-  EXPECT_THROW(svc.open(std::move(opts)), std::invalid_argument);
+  const auto data_a = random_bytes(200000, 31);
+  const auto data_b = random_bytes(150000, 32);
+
+  RecordingSink sink_a(/*want_payload=*/true);
+  service::TenantOptions opts_a;
+  opts_a.sink = &sink_a;
+  const auto id_a = svc.open(std::move(opts_a));
+  svc.submit(id_a, as_bytes(data_a));
+
+  // Dynamically added stream: opened after the first tenant is submitted.
+  RecordingSink sink_b(/*want_payload=*/true);
+  service::TenantOptions opts_b;
+  opts_b.sink = &sink_b;
+  const auto id_b = svc.open(std::move(opts_b));
+  svc.submit(id_b, as_bytes(data_b));
+
+  svc.finish(id_a);
+  svc.finish(id_b);
+  const auto res_a = svc.wait(id_a);
+  const auto res_b = svc.wait(id_b);
   svc.shutdown();
+
+  const auto check = [](const RecordingSink& sink,
+                        const service::TenantResult& res, const ByteVec& data) {
+    ASSERT_EQ(sink.payloads().size(), res.chunks.size());
+    for (std::size_t i = 0; i < res.chunks.size(); ++i) {
+      const auto& c = res.chunks[i];
+      EXPECT_EQ(std::memcmp(sink.payloads()[i].data(),
+                            data.data() + static_cast<std::size_t>(c.offset),
+                            static_cast<std::size_t>(c.size)),
+                0)
+          << "chunk " << i;
+    }
+  };
+  check(sink_a, res_a, data_a);
+  check(sink_b, res_b, data_b);
 }
 
 TEST(ServiceSink, DedupStoreServiceDeliversPayloadViews) {
