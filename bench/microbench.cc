@@ -68,6 +68,18 @@
 // traced per-engine busy time against GpuTimeline::engine_busy (bar: within
 // 1%). Writes BENCH_obs.json. `--obs_smoke_json[=PATH]` is the small variant
 // scripts/ci.sh runs.
+//
+// Retention churn tracking: `microbench --retention_json[=PATH]` backs up N
+// high-churn snapshots through a BackupServer, deletes half of them on both
+// the server and the backup-site agent, runs the epoch GC sweep and the
+// entry-log compaction (docs/retention.md), and writes store/index occupancy
+// before and after plus the modelled retention seconds to
+// BENCH_retention.json. The acceptance bars: >= 80% of the dead bytes the
+// deletes zeroed are reclaimed by GC, store bytes and index entry-log size
+// both shrink >= 40%, surviving images recreate bit-identically, and every
+// surviving digest's sparse-index probe decision is bit-identical before and
+// after compaction (dead unshared digests must miss). `--retention_smoke_
+// json[=PATH]` is the small-image variant scripts/ci.sh runs.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -75,6 +87,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "backup/backup_server.h"
@@ -1072,6 +1085,258 @@ int run_transport_json(const std::string& path, bool smoke) {
   return 0;
 }
 
+// --- --retention_json mode --------------------------------------------------
+
+int run_retention_json(const std::string& path, bool smoke) {
+  using namespace shredder::backup;
+  ImageRepoConfig repo_cfg;
+  repo_cfg.image_bytes = smoke ? (4ull << 20) : (32ull << 20);
+  repo_cfg.segment_bytes = smoke ? (128ull << 10) : (512ull << 10);
+  repo_cfg.seed = 9091;
+  ImageRepository repo(repo_cfg);
+
+  // Churn workload: every snapshot replaces ~95% of its segments with
+  // snapshot-unique content, so deleting half the snapshots strands close to
+  // half the store — the operating point where retention has to earn its
+  // keep. The shared 5% (master segments) exercises the refcount walk: those
+  // chunks must survive every delete.
+  const int snapshots = smoke ? 6 : 8;
+  const double change_prob = 0.95;
+
+  const auto store = std::make_shared<shredder::dedup::ChunkStore>(
+      /*deferred_reclaim=*/true);
+  BackupServerConfig cfg;
+  cfg.backend = ChunkerBackend::kPthreadsCpu;
+  cfg.chunker.window = 48;
+  cfg.chunker.mask_bits = 11;  // ~2 KB chunks, many entry-log containers
+  cfg.chunker.marker = 0x78;
+  cfg.chunker.min_size = 1024;
+  cfg.chunker.max_size = 8 * 1024;
+  cfg.index.kind = shredder::dedup::IndexKind::kSparse;
+  cfg.batch_link = true;  // manifests ride the batched data plane
+  cfg.store = store;
+  BackupServer server(cfg);
+  BackupAgent agent;
+
+  std::vector<std::string> ids;
+  std::vector<ByteVec> images;
+  for (int i = 1; i <= snapshots; ++i) {
+    ids.push_back("snap" + std::to_string(i));
+    images.push_back(repo.snapshot(change_prob, static_cast<std::uint64_t>(i)));
+    const auto stats =
+        server.backup_image(ids.back(), as_bytes(images.back()), repo, agent);
+    if (!stats.verified) {
+      std::fprintf(stderr, "retention bench: backup of %s failed to verify\n",
+                   ids.back().c_str());
+      return 1;
+    }
+  }
+
+  // Snapshot the manifests before any delete so the dead-digest set is still
+  // reachable, then split the digest universe into survivors and unshared
+  // dead (shared chunks stay probe-able forever).
+  std::vector<std::vector<shredder::dedup::ChunkDigest>> manifests;
+  for (const auto& id : ids) {
+    manifests.push_back(server.retention().manifests().digests("", id));
+  }
+  std::unordered_set<shredder::dedup::ChunkDigest,
+                     shredder::dedup::ChunkDigestHash>
+      surviving;
+  for (int i = 0; i < snapshots; i += 2) {
+    surviving.insert(manifests[i].begin(), manifests[i].end());
+  }
+  std::unordered_set<shredder::dedup::ChunkDigest,
+                     shredder::dedup::ChunkDigestHash>
+      dead;
+  for (int i = 1; i < snapshots; i += 2) {
+    for (const auto& d : manifests[i]) {
+      if (surviving.find(d) == surviving.end()) dead.insert(d);
+    }
+  }
+
+  const auto occ_full = store->occupancy();
+  std::uint64_t bytes_zeroed = 0, chunks_released = 0;
+  double delete_seconds = 0;
+  for (int i = 1; i < snapshots; i += 2) {
+    const auto ds = server.delete_image(ids[i]);
+    bytes_zeroed += ds.bytes_zeroed;
+    chunks_released += ds.chunks_released;
+    delete_seconds += ds.virtual_seconds;
+    agent.delete_image(ids[i]);
+  }
+
+  const auto gc = server.gc();
+  const auto occ_after = store->occupancy();
+  const double reclaim_ratio =
+      bytes_zeroed > 0 ? static_cast<double>(gc.bytes_freed) / bytes_zeroed
+                       : 0.0;
+  const double store_shrink =
+      occ_full.bytes > 0
+          ? 1.0 - static_cast<double>(occ_after.bytes) / occ_full.bytes
+          : 0.0;
+
+  // Record every surviving (and dead) probe decision, compact, re-probe:
+  // placement depends only on (bucket, signature), so compaction must be
+  // invisible to lookups — identical hit/miss, offset and size.
+  struct Probe {
+    bool hit;
+    std::uint64_t offset, size;
+  };
+  auto probe_all = [&](const std::unordered_set<
+                       shredder::dedup::ChunkDigest,
+                       shredder::dedup::ChunkDigestHash>& set) {
+    std::vector<Probe> out;
+    out.reserve(set.size());
+    for (const auto& d : set) {
+      const auto loc = server.index().lookup(d);
+      out.push_back({loc.has_value(), loc ? loc->store_offset : 0,
+                     loc ? loc->size : 0});
+    }
+    return out;
+  };
+  const auto live_before = probe_all(surviving);
+  const auto cs = server.compact_index();
+  const auto live_after = probe_all(surviving);
+  bool probes_identical = true;
+  for (std::size_t i = 0; i < live_before.size(); ++i) {
+    if (live_before[i].hit != live_after[i].hit ||
+        live_before[i].offset != live_after[i].offset ||
+        live_before[i].size != live_after[i].size) {
+      probes_identical = false;
+      break;
+    }
+  }
+  bool dead_missing = true;
+  for (const auto& d : dead) {
+    if (server.index().lookup(d).has_value()) {
+      dead_missing = false;
+      break;
+    }
+  }
+  const double log_shrink =
+      cs.index.entries_before > 0
+          ? 1.0 - static_cast<double>(cs.index.entries_after) /
+                      cs.index.entries_before
+          : 0.0;
+
+  bool survivors_identical = true;
+  for (int i = 0; i < snapshots; i += 2) {
+    if (agent.recreate(ids[i]) != images[i]) {
+      survivors_identical = false;
+      break;
+    }
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"image_bytes\": %llu,\n",
+               static_cast<unsigned long long>(repo_cfg.image_bytes));
+  std::fprintf(f, "  \"snapshots\": %d,\n", snapshots);
+  std::fprintf(f, "  \"deleted\": %d,\n", snapshots / 2);
+  std::fprintf(f, "  \"change_probability\": %.2f,\n", change_prob);
+  std::fprintf(f, "  \"chunks_released\": %llu,\n",
+               static_cast<unsigned long long>(chunks_released));
+  std::fprintf(f, "  \"bytes_zeroed\": %llu,\n",
+               static_cast<unsigned long long>(bytes_zeroed));
+  std::fprintf(f,
+               "  \"gc\": {\"epoch\": %llu, \"chunks_freed\": %llu, "
+               "\"bytes_freed\": %llu, \"kept_pinned\": %llu, "
+               "\"resurrected\": %llu},\n",
+               static_cast<unsigned long long>(gc.epoch),
+               static_cast<unsigned long long>(gc.chunks_freed),
+               static_cast<unsigned long long>(gc.bytes_freed),
+               static_cast<unsigned long long>(gc.kept_pinned),
+               static_cast<unsigned long long>(gc.resurrected));
+  std::fprintf(f, "  \"store_bytes_before\": %llu,\n",
+               static_cast<unsigned long long>(occ_full.bytes));
+  std::fprintf(f, "  \"store_bytes_after\": %llu,\n",
+               static_cast<unsigned long long>(occ_after.bytes));
+  std::fprintf(f, "  \"store_shrink\": %.3f,\n", store_shrink);
+  std::fprintf(f, "  \"dead_bytes_reclaimed\": %.3f,\n", reclaim_ratio);
+  std::fprintf(f,
+               "  \"compaction\": {\"entries_before\": %llu, "
+               "\"entries_after\": %llu, \"dropped\": %llu, "
+               "\"containers_scanned\": %llu, \"containers_rewritten\": %llu, "
+               "\"manifest_records_dropped\": %llu},\n",
+               static_cast<unsigned long long>(cs.index.entries_before),
+               static_cast<unsigned long long>(cs.index.entries_after),
+               static_cast<unsigned long long>(cs.index.dropped),
+               static_cast<unsigned long long>(cs.index.containers_scanned),
+               static_cast<unsigned long long>(cs.index.containers_rewritten),
+               static_cast<unsigned long long>(cs.manifest.dropped_records));
+  std::fprintf(f, "  \"log_shrink\": %.3f,\n", log_shrink);
+  std::fprintf(f,
+               "  \"retention_seconds\": {\"delete\": %.6f, \"gc\": %.6f, "
+               "\"compact\": %.6f},\n",
+               delete_seconds, gc.virtual_seconds, cs.virtual_seconds);
+  std::fprintf(f, "  \"survivors_bit_identical\": %s,\n",
+               survivors_identical ? "true" : "false");
+  std::fprintf(f, "  \"probe_decisions_identical\": %s,\n",
+               probes_identical ? "true" : "false");
+  std::fprintf(f, "  \"dead_digests_miss\": %s\n",
+               dead_missing ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf("retention churn, %d x %s snapshots at %.0f%% change, "
+              "%d deleted:\n",
+              snapshots, human_bytes(repo_cfg.image_bytes).c_str(),
+              change_prob * 100, snapshots / 2);
+  std::printf("  store:  %s -> %s  (%.1f%% reclaimed, %.1f%% of dead bytes "
+              "freed by GC)\n",
+              human_bytes(occ_full.bytes).c_str(),
+              human_bytes(occ_after.bytes).c_str(), store_shrink * 100,
+              reclaim_ratio * 100);
+  std::printf("  index:  %llu -> %llu log entries  (%.1f%% compacted, "
+              "%llu/%llu containers rewritten)\n",
+              static_cast<unsigned long long>(cs.index.entries_before),
+              static_cast<unsigned long long>(cs.index.entries_after),
+              log_shrink * 100,
+              static_cast<unsigned long long>(cs.index.containers_rewritten),
+              static_cast<unsigned long long>(cs.index.containers_scanned));
+  std::printf("  checks: survivors %s, probe decisions %s, dead digests %s\n",
+              survivors_identical ? "bit-identical" : "CORRUPT",
+              probes_identical ? "bit-identical" : "CHANGED",
+              dead_missing ? "miss" : "STILL PRESENT");
+  std::printf("  cost:   delete %.1f ms, gc %.1f ms, compact %.1f ms "
+              "(virtual) -> %s\n",
+              delete_seconds * 1e3, gc.virtual_seconds * 1e3,
+              cs.virtual_seconds * 1e3, path.c_str());
+
+  if (!survivors_identical) {
+    std::fprintf(stderr,
+                 "retention bench: a surviving image no longer recreates "
+                 "bit-identically after delete+GC+compaction\n");
+    return 1;
+  }
+  if (!probes_identical || !dead_missing) {
+    std::fprintf(stderr,
+                 "retention bench: sparse-index probe decisions changed "
+                 "across compaction\n");
+    return 1;
+  }
+  if (reclaim_ratio < 0.8) {
+    std::fprintf(stderr,
+                 "retention bench: GC reclaimed %.1f%% of dead bytes, below "
+                 "the 80%% bar\n",
+                 reclaim_ratio * 100);
+    return 1;
+  }
+  if (store_shrink < 0.4 || log_shrink < 0.4) {
+    std::fprintf(stderr,
+                 "retention bench: store shrank %.1f%%, entry log %.1f%% — "
+                 "both must shrink >= 40%% after deleting half the "
+                 "snapshots\n",
+                 store_shrink * 100, log_shrink * 100);
+    return 1;
+  }
+  return 0;
+}
+
 // --- --obs_json mode --------------------------------------------------------
 
 // Relative disagreement of a traced busy time vs the timeline's own
@@ -1393,6 +1658,18 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--obs_smoke_json=", 17) == 0) {
       return run_obs_json(argv[i] + 17, /*smoke=*/true);
+    }
+    if (std::strcmp(argv[i], "--retention_json") == 0) {
+      return run_retention_json("BENCH_retention.json", /*smoke=*/false);
+    }
+    if (std::strncmp(argv[i], "--retention_json=", 17) == 0) {
+      return run_retention_json(argv[i] + 17, /*smoke=*/false);
+    }
+    if (std::strcmp(argv[i], "--retention_smoke_json") == 0) {
+      return run_retention_json("BENCH_retention_smoke.json", /*smoke=*/true);
+    }
+    if (std::strncmp(argv[i], "--retention_smoke_json=", 23) == 0) {
+      return run_retention_json(argv[i] + 23, /*smoke=*/true);
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -11,9 +11,10 @@ compile time is spent. Two invariant families:
        common <- {obs, rabin, gpusim}
        common, rabin <- chunking
        chunking <- dedup
+       {common, dedup, obs} <- retention
        {rabin, chunking, gpusim, dedup, obs} <- core
-       core <- service
-       {core, dedup, service} <- backup
+       {core, retention} <- service
+       {core, dedup, retention, service} <- backup
        {core, dedup} <- {inchdfs, redelim}
 
    The checker takes the transitive closure, so `backup` including
@@ -33,7 +34,15 @@ compile time is spent. Two invariant families:
    outside the scanned directories, listed here as an explicit allowlist so
    moving them would still pass.
 
-3. Sink isolation. src/core/sink.{h,cc} define the payload-view layer every
+3. Retention isolation. src/retention/ is the storage control plane: it may
+   see chunk stores and indexes (dedup) but never the layers that drive it.
+   Any `#include "service/..."` or `#include "backup/..."` under
+   src/retention/ is flagged by name — the module-DAG check would reject it
+   too, but this failure reads as the design violation it is: a delete walk
+   or GC sweep calling back up into a session or wire protocol inverts the
+   subsystem's whole dependency story (docs/retention.md).
+
+4. Sink isolation. src/core/sink.{h,cc} define the payload-view layer every
    consumer (service store threads, backup framing, user sinks) builds on;
    the zero-copy contract (docs/zero_copy.md) only holds if the sink layer
    never reaches up into its consumers. Any `#include "service/..."` or
@@ -61,15 +70,17 @@ DIRECT_DEPS: dict[str, set[str]] = {
     "chunking": {"common", "rabin"},
     "gpusim": {"common"},
     "dedup": {"common", "chunking"},
+    "retention": {"common", "dedup", "obs"},
     "core": {"common", "rabin", "chunking", "gpusim", "dedup", "obs"},
-    "service": {"core"},
-    "backup": {"core", "dedup", "service"},
+    "service": {"core", "retention"},
+    "backup": {"core", "dedup", "retention", "service"},
     "inchdfs": {"core", "dedup"},
     "redelim": {"core", "dedup"},
 }
 
 # Directories under src/ whose code runs on virtual time.
-VIRTUAL_TIME_MODULES = ("core", "gpusim", "backup", "service", "obs")
+VIRTUAL_TIME_MODULES = ("core", "gpusim", "backup", "service", "obs",
+                        "retention")
 
 # Files allowed to read the host clock (relative to src/).
 WALL_CLOCK_ALLOWLIST = (
@@ -92,9 +103,13 @@ INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
 SOURCE_SUFFIXES = (".h", ".hpp", ".cc", ".cpp")
 
 # Files under src/ that must not include headers from these consumer modules
-# (sink isolation; see docstring point 3).
+# (sink isolation; see docstring point 4).
 SINK_ISOLATION_FILES = ("core/sink.h", "core/sink.cc")
 SINK_FORBIDDEN_MODULES = ("service", "backup")
+
+# The retention control plane must not reach up into the layers that drive
+# it (retention isolation; see docstring point 3).
+RETENTION_FORBIDDEN_MODULES = ("service", "backup")
 
 
 def transitive_closure(direct: dict[str, set[str]]) -> dict[str, set[str]]:
@@ -179,6 +194,31 @@ def check_wall_clock(src: Path) -> list[str]:
     return errors
 
 
+def check_retention_isolation(src: Path) -> list[str]:
+    errors = []
+    mdir = src / "retention"
+    if not mdir.is_dir():
+        return errors
+    for path in sorted(mdir.rglob("*")):
+        if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+            continue
+        for lineno, line in enumerate(
+                path.read_text(errors="replace").splitlines(), 1):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            target = m.group(1).split("/")[0]
+            if target in RETENTION_FORBIDDEN_MODULES:
+                rel = path.relative_to(src.parent)
+                errors.append(
+                    f"{rel}:{lineno}: retention isolation violation: the "
+                    f"retention control plane may not include "
+                    f"\"{m.group(1)}\" — it depends on dedup stores and "
+                    f"indexes, never on the layers that drive it "
+                    f"({', '.join(RETENTION_FORBIDDEN_MODULES)})")
+    return errors
+
+
 def check_sink_isolation(src: Path) -> list[str]:
     errors = []
     for rel_src in SINK_ISOLATION_FILES:
@@ -207,7 +247,7 @@ def run_checks(root: Path) -> list[str]:
         raise RuntimeError(f"no src/ under {root}")
     assert_acyclic(DIRECT_DEPS)
     return (check_layering(src) + check_wall_clock(src)
-            + check_sink_isolation(src))
+            + check_retention_isolation(src) + check_sink_isolation(src))
 
 
 def self_test(repo_root: Path) -> int:
@@ -229,6 +269,7 @@ def self_test(repo_root: Path) -> int:
     expect("bad_layering", 1, "layering violation")
     expect("bad_clock", 1, "wall-clock call")
     expect("bad_sink_dep", 1, "sink isolation")
+    expect("bad_retention_dep", 2, "retention isolation")
 
     # The word-boundary regex must not flag identifiers ending in `time`.
     clean_errors = run_checks(fixtures / "clean")

@@ -98,28 +98,43 @@ else
   echo "microbench not built (google-benchmark missing): skipping sink smoke"
 fi
 
+echo "=== retention churn smoke (delete + GC + compaction BENCH_retention) ==="
+# Enforces the same bars the committed BENCH_retention.json documents at
+# full scale (docs/retention.md): >= 80% of dead bytes reclaimed by GC,
+# store bytes and index entry-log both shrink >= 40% after deleting half
+# the snapshots, surviving images recreate bit-identically, and sparse
+# probe decisions are bit-identical across entry-log compaction.
+if [ -x "$BUILD_DIR/microbench" ]; then
+  "$BUILD_DIR/microbench" --retention_smoke_json="$BUILD_DIR/BENCH_retention_smoke.json"
+else
+  echo "microbench not built (google-benchmark missing): skipping retention smoke"
+fi
+
 echo "=== ASan/UBSan build (chunking + fingerprint + index + wire + obs stack) ==="
 SAN_DIR="${BUILD_DIR}-asan"
 cmake -B "$SAN_DIR" -S . -DSHREDDER_WERROR=ON -DSHREDDER_SANITIZE=address
 cmake --build "$SAN_DIR" -j "$JOBS" \
   --target chunking_test rabin_test minmax_test fingerprint_test \
-  index_test dedup_test core_test sink_test transport_test obs_test common_test
+  index_test dedup_test retention_test core_test sink_test transport_test \
+  obs_test common_test
 ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS" \
-  -R 'chunking_test|rabin_test|minmax_test|fingerprint_test|index_test|dedup_test|core_test|sink_test|transport_test|obs_test|common_test'
+  -R 'chunking_test|rabin_test|minmax_test|fingerprint_test|index_test|dedup_test|retention_test|core_test|sink_test|transport_test|obs_test|common_test'
 
 echo "=== TSan build (queues, thread pool, obs, service, transport) ==="
 # The suites that genuinely run multiple threads: common_test (BoundedQueue +
 # ThreadPool stress), obs_test (registry shards racing snapshot, tracer),
 # service_test (N producer threads over one engine), core_test (slot-lease
 # backpressure across producer/consumer threads), transport_test and
-# sink_test (store-thread delivery). TSan's happens-before checking is what
-# the thread-safety annotations cannot give us under gcc.
+# sink_test (store-thread delivery), retention_test (pins vs GC sweeps over
+# the shared store). TSan's happens-before checking is what the
+# thread-safety annotations cannot give us under gcc.
 TSAN_DIR="${BUILD_DIR}-tsan"
 cmake -B "$TSAN_DIR" -S . -DSHREDDER_WERROR=ON -DSHREDDER_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$JOBS" \
-  --target common_test obs_test service_test core_test transport_test sink_test
+  --target common_test obs_test service_test core_test transport_test \
+  sink_test retention_test
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-  -R 'common_test|obs_test|service_test|core_test|transport_test|sink_test'
+  -R 'common_test|obs_test|service_test|core_test|transport_test|sink_test|retention_test'
 
 echo "=== ci OK ==="

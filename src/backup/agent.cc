@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace shredder::backup {
 
 BackupAgent::BackupAgent(dedup::IndexConfig catalog_config)
@@ -285,6 +287,39 @@ ByteVec BackupAgent::recreate(const std::string& image_id) const {
     out.insert(out.end(), chunk->begin(), chunk->end());
   }
   return out;
+}
+
+std::uint64_t BackupAgent::delete_image(const std::string& image_id) {
+  const auto it = recipes_.find(image_id);
+  if (it == recipes_.end()) {
+    throw ProtocolError(ProtocolViolation::kUnknownImage,
+                        "BackupAgent: delete of unknown image: " + image_id);
+  }
+  if (!it->second.sealed) {
+    throw ProtocolError(ProtocolViolation::kImageInProgress,
+                        "BackupAgent: delete of in-progress image: " +
+                            image_id);
+  }
+  for (const auto& digest : it->second.chunks) {
+    if (pending_repair_.count(digest)) {
+      throw ProtocolError(ProtocolViolation::kRecipeIncomplete,
+                          "BackupAgent: delete of image with pending repairs: " +
+                              image_id);
+    }
+  }
+  std::uint64_t released = 0;
+  for (const auto& digest : it->second.chunks) {
+    // The agent's own bookkeeping took one reference per occurrence (put for
+    // unique chunks, add_ref for pointers), so the walk cannot underflow.
+    const dedup::ReleaseOutcome out = store_.release_ref(digest);
+    SHREDDER_CHECK_MSG(out == dedup::ReleaseOutcome::kLive ||
+                           out == dedup::ReleaseOutcome::kReclaimed ||
+                           out == dedup::ReleaseOutcome::kDeferred,
+                       "BackupAgent: recipe references an unreferenced chunk");
+    ++released;
+  }
+  recipes_.erase(it);
+  return released;
 }
 
 }  // namespace shredder::backup

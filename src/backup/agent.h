@@ -46,6 +46,7 @@ enum class ProtocolViolation {
   kBadRepairPayload,      // repair payload does not hash to its digest
   kRecipeLengthMismatch,  // end_image chunk count != recipe length
   kRecipeIncomplete,      // recreate() while repairs are still pending
+  kImageInProgress,       // delete_image for an image not yet sealed
 };
 
 // Typed protocol violation. Subclasses std::invalid_argument so existing
@@ -153,6 +154,16 @@ class BackupAgent {
   // ProtocolError{kRecipeIncomplete} while any recipe chunk is still
   // repair-pending.
   ByteVec recreate(const std::string& image_id) const;
+
+  // Snapshot delete, mirroring the server's retention walk on the backup
+  // site: releases one store reference per recipe occurrence (chunks whose
+  // last reference goes are reclaimed) and forgets the recipe, so the image
+  // id may be reused. Throws ProtocolError{kUnknownImage} for an unknown or
+  // already-deleted id, {kImageInProgress} before end_image sealed it, and
+  // {kRecipeIncomplete} while repairs are pending (their deferred references
+  // have not been taken yet, so a walk would desync the counts). Returns the
+  // number of references released.
+  std::uint64_t delete_image(const std::string& image_id);
 
   std::uint64_t unique_chunks() const { return store_.unique_chunks(); }
   std::uint64_t unique_bytes() const { return store_.unique_bytes(); }

@@ -40,9 +40,12 @@ BackupServer::BackupServer(BackupServerConfig config)
   config_.chunker.validate();
   // The repair source of the batched transport path: every unique chunk the
   // server ships is also retained here, so a re-requested digest can always
-  // be served. Shareable (e.g. with a dedup_on_store service).
+  // be served. Shareable (e.g. with a dedup_on_store service). Server-owned
+  // instances run in deferred-reclaim mode: snapshot deletes park zero-ref
+  // chunks for the GC epoch protocol instead of freeing them inline.
   store_ = config_.store ? config_.store
-                         : std::make_shared<dedup::ChunkStore>();
+                         : std::make_shared<dedup::ChunkStore>(
+                               /*deferred_reclaim=*/true);
   // The baseline backend's flat probe/insert costs live in BackupCostModel
   // (§7.3 calibration); copy them into the index config so both knobs agree.
   dedup::IndexConfig index_cfg = config_.index;
@@ -55,6 +58,13 @@ BackupServer::BackupServer(BackupServerConfig config)
   if (registry_ == nullptr && config_.service) {
     registry_ = &config_.service->registry();
   }
+  // Snapshot lifecycle over the repair store: manifests, delete walks, GC.
+  retention::RetentionConfig retention_cfg;
+  retention_cfg.costs = config_.retention_costs;
+  retention_cfg.registry = registry_;
+  retention_cfg.tracer = config_.tracer;
+  retention_ = std::make_unique<retention::RetentionManager>(store_,
+                                                             retention_cfg);
   switch (config_.backend) {
     case ChunkerBackend::kShredderGpu:
       config_.shredder.chunker = config_.chunker;
@@ -214,6 +224,16 @@ BackupRunStats BackupServer::dedup_and_ship(
   const std::uint32_t index_stream = next_index_stream_++;
   const dedup::IndexStats index_before = index_->stats();
   stats.index_kind = index_->kind();
+  // Retention bookkeeping (batched path only — the per-chunk AgentLink path
+  // takes no store references): pin the whole dedup walk so a concurrent
+  // gc() cannot free a chunk between this walk's index hit and its add_ref,
+  // and accumulate the image's ordered digest list for its manifest.
+  retention::RetentionManager::Pin pin;
+  std::vector<dedup::ChunkDigest> manifest_digests;
+  if (config_.batch_link) {
+    pin = retention_->pin();
+    manifest_digests.reserve(chunks.size());
+  }
   // The stream ships at the drained-buffer granularity chunk_image recorded:
   // with batch_link one extent-coalesced wire message per buffer, otherwise
   // the paper's one message per chunk.
@@ -231,7 +251,15 @@ BackupRunStats BackupServer::dedup_and_ship(
       const auto existing = index_->lookup_or_insert(
           digest, dedup::ChunkLocation{next_store_offset_, c.size},
           index_stream);
-      const bool unique = !existing.has_value();
+      bool unique = !existing.has_value();
+      // One store reference per duplicate occurrence keeps the refcounts
+      // symmetric with the manifest the delete walk will replay. A failed
+      // add_ref is a stale index hit — the chunk was deleted and swept after
+      // the index recorded it — and self-heals: treat the chunk as unique
+      // and re-ship the payload (dedup ratio degrades, correctness never).
+      if (config_.batch_link && !unique && !store_->add_ref(digest)) {
+        unique = true;
+      }
       if (unique) {
         stats.unique_bytes += c.size;
         next_store_offset_ += c.size;
@@ -246,8 +274,11 @@ BackupRunStats BackupServer::dedup_and_ship(
         continue;
       }
       // Retain the payload server-side: the repair protocol must be able to
-      // serve any digest it ever put on the wire.
+      // serve any digest it ever put on the wire. put() is the unique-chunk
+      // half of the one-ref-per-occurrence invariant (add_ref above is the
+      // duplicate half).
       if (unique) store_->put(digest, payload);
+      manifest_digests.push_back(digest);
       // Extent coalescing: extend the open run while the chunk kind
       // matches, else seal it and open the next.
       const auto idx = static_cast<std::uint32_t>(wire.digests.size());
@@ -322,6 +353,13 @@ BackupRunStats BackupServer::dedup_and_ship(
   const ByteVec recreated = agent.recreate(image_id);
   stats.verified = recreated.size() == image.size() &&
                    std::equal(recreated.begin(), recreated.end(), image.begin());
+  if (config_.batch_link) {
+    // The manifest is the durable record the delete walk and crash recovery
+    // replay. Recorded unconditionally: the store references were taken
+    // during the walk above, and a manifest must account for every one.
+    retention_->record_image("", image_id, manifest_digests);
+    pin.release();
+  }
   stats.wall_seconds = wall.elapsed_seconds();
   publish_run_stats(stats, index_before, index_after);
   return stats;
@@ -371,6 +409,26 @@ void BackupServer::publish_run_stats(const BackupRunStats& stats,
       .add(delta(index_after.flash_reads, index_before.flash_reads));
   reg.counter("index.cache_hits_total")
       .add(delta(index_after.cache_hits, index_before.cache_hits));
+}
+
+retention::RetentionManager::DeleteStats BackupServer::delete_image(
+    const std::string& image_id) {
+  return retention_->delete_image("", image_id);
+}
+
+retention::RetentionManager::GcStats BackupServer::gc() {
+  return retention_->gc();
+}
+
+retention::RetentionManager::CompactStats BackupServer::compact_index() {
+  if (index_->kind() == dedup::IndexKind::kSparse) {
+    return retention_->compact_index(
+        static_cast<dedup::SparseChunkIndex&>(*index_));
+  }
+  // The baseline map keeps no entry log; only the manifest log compacts.
+  retention::RetentionManager::CompactStats stats;
+  stats.manifest = retention_->manifests().compact();
+  return stats;
 }
 
 BackupRunStats BackupServer::backup_image(const std::string& image_id,

@@ -28,6 +28,7 @@
 #include "dedup/index.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "retention/retention.h"
 #include "service/service.h"
 
 namespace shredder::backup {
@@ -96,9 +97,14 @@ struct BackupServerConfig {
   TransportConfig transport;
   // Content-addressed store of every unique chunk this server has shipped —
   // the source the repair protocol serves re-requested digests from. Leave
-  // null for a server-owned instance; pass one in to share (e.g. with a
-  // dedup_on_store ChunkingService).
+  // null for a server-owned instance (constructed in deferred-reclaim mode
+  // so snapshot deletes park chunks for the GC epoch protocol instead of
+  // freeing them inline); pass one in to share (e.g. with a dedup_on_store
+  // ChunkingService).
   std::shared_ptr<dedup::ChunkStore> store;
+  // Modelled costs of the retention control plane (delete walks, GC sweeps,
+  // manifest appends).
+  retention::RetentionCostModel retention_costs;
   // Shared chunking service, required for kSharedService. Its chunker
   // configuration must equal `chunker` (streams must stay bit-identical to
   // a dedicated run) and its fingerprint_on_device flag must match; the
@@ -187,6 +193,34 @@ class BackupServer {
   const dedup::IndexBackend& index() const noexcept { return *index_; }
   const BackupServerConfig& config() const noexcept { return config_; }
 
+  // --- Retention surface (src/retention): manifests, delete, GC, compaction.
+  // Every snapshot shipped over the batched transport records a chunk
+  // manifest here once the backup site verified; the per-chunk AgentLink
+  // path takes no store references and leaves no manifest.
+  retention::RetentionManager& retention() noexcept { return *retention_; }
+  const retention::RetentionManager& retention() const noexcept {
+    return *retention_;
+  }
+
+  // Deletes a previously backed-up snapshot server-side: walks its manifest
+  // releasing one store reference per chunk occurrence; chunks that hit zero
+  // refs await gc(). The backup site's copy is deleted separately via
+  // BackupAgent::delete_image. Throws retention::RetentionError
+  // (kUnknownImage for ids never shipped over the batched path;
+  // kAlreadyDeleted on a repeat delete). A deleted id may be backed up
+  // again afterwards — to a fresh agent, since the old one seals ids.
+  retention::RetentionManager::DeleteStats delete_image(
+      const std::string& image_id);
+
+  // Epoch-advancing GC sweep over chunks zeroed by deletes (retention.h).
+  retention::RetentionManager::GcStats gc();
+
+  // Entry-log compaction: rewrites the sparse index's containers dropping
+  // entries whose chunks the store no longer holds, then compacts the
+  // manifest log. With the baseline map backend only the manifest log
+  // compacts (a RAM map has no entry log to rewrite).
+  retention::RetentionManager::CompactStats compact_index();
+
  private:
   // Chunking stage: fills `chunks` (and `digests` when the backend
   // fingerprints on-device), records the drained-buffer batch structure as
@@ -221,6 +255,7 @@ class BackupServer {
   obs::Registry* registry_ = nullptr;  // resolved in the constructor
   std::unique_ptr<dedup::IndexBackend> index_;
   std::shared_ptr<dedup::ChunkStore> store_;  // repair source (batched path)
+  std::unique_ptr<retention::RetentionManager> retention_;
   std::unique_ptr<core::Shredder> shredder_;        // GPU backend
   std::unique_ptr<rabin::RabinTables> cpu_tables_;  // CPU backend
   std::unique_ptr<chunking::ParallelChunker> cpu_chunker_;

@@ -62,6 +62,10 @@ struct IndexCostModel {
   double cache_hit_s = 0.1e-6;
   // Appending a new entry to the log's write buffer + cuckoo placement.
   double log_append_s = 0.3e-6;
+  // Writing one compacted container back to the log region (entry-log
+  // compaction, docs/retention.md) — a flash sequential write, slightly
+  // dearer than the random read.
+  double flash_write_s = 45e-6;
 };
 
 // Geometry of the sparse backend (ignored by the baseline).
@@ -96,6 +100,8 @@ struct IndexStats {
   std::uint64_t resizes = 0;         // table growths
   std::uint64_t spilled = 0;         // entries in the RAM auxiliary bin
   std::uint64_t recoveries = 0;      // rebuild_from_log restarts (sparse)
+  std::uint64_t compactions = 0;     // entry-log compaction passes (sparse)
+  std::uint64_t log_entries_dropped = 0;  // dead entries compacted away
   double virtual_seconds = 0;        // total modelled index time
 };
 

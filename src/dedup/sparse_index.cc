@@ -40,7 +40,8 @@ SparseChunkIndex::SparseChunkIndex(const IndexConfig& config)
         "SparseChunkIndex: max_stream_caches must be >= 1");
   }
   if (costs_.ram_probe_s < 0 || costs_.flash_read_s < 0 ||
-      costs_.cache_hit_s < 0 || costs_.log_append_s < 0) {
+      costs_.cache_hit_s < 0 || costs_.log_append_s < 0 ||
+      costs_.flash_write_s < 0) {
     throw std::invalid_argument("SparseChunkIndex: negative cost");
   }
   n_buckets_ = tuning_.buckets;
@@ -268,6 +269,67 @@ void SparseChunkIndex::rebuild_from_log(std::vector<LogRecord> records) {
   log_.reserve(records.size());
   for (const LogRecord& r : records) log_.push_back({r.digest, r.loc});
   rebuild_locked();
+}
+
+SparseChunkIndex::CompactionStats SparseChunkIndex::compact(
+    const LivePredicate& live) {
+  MutexLock lock(mu_);
+  CompactionStats cs;
+  cs.entries_before = log_.size();
+  const double t0 = stats_.virtual_seconds;
+
+  // Scan pass: every container (sealed or tail) is read once to decide
+  // entry liveness — same charge shape as rebuild_locked's recovery scan.
+  cs.containers_scanned = (log_.size() + tuning_.container_entries - 1) /
+                          tuning_.container_entries;
+  stats_.flash_reads += cs.containers_scanned;
+  stats_.virtual_seconds +=
+      static_cast<double>(cs.containers_scanned) * costs_.flash_read_s;
+
+  // Rewrite the log keeping live entries in insertion order; remap maps
+  // old offsets to new ones (kEmpty = dead).
+  std::vector<std::uint32_t> remap(log_.size(), Slot::kEmpty);
+  std::vector<LogEntry> compacted;
+  compacted.reserve(log_.size());
+  for (std::size_t e = 0; e < log_.size(); ++e) {
+    if (live(log_[e].digest, log_[e].loc)) {
+      remap[e] = static_cast<std::uint32_t>(compacted.size());
+      compacted.push_back(log_[e]);
+    }
+  }
+  cs.entries_after = compacted.size();
+  cs.dropped = cs.entries_before - cs.entries_after;
+  log_ = std::move(compacted);
+  cs.containers_rewritten = (log_.size() + tuning_.container_entries - 1) /
+                            tuning_.container_entries;
+  stats_.virtual_seconds +=
+      static_cast<double>(cs.containers_rewritten) * costs_.flash_write_s;
+
+  // Patch the cuckoo in place: placement depends only on (bucket, sig), so
+  // live slots keep their position with the remapped offset; dead slots are
+  // cleared and simply read as free from now on.
+  for (Slot& s : slots_) {
+    if (s.entry == Slot::kEmpty) continue;
+    const std::uint32_t ne = remap[s.entry];
+    if (ne == Slot::kEmpty) {
+      s = Slot{};
+    } else {
+      s.entry = ne;
+    }
+  }
+  std::size_t kept_spill = 0;
+  for (const std::uint32_t e : spill_) {
+    if (remap[e] != Slot::kEmpty) spill_[kept_spill++] = remap[e];
+  }
+  spill_.resize(kept_spill);
+  // Container ids shifted under every cached prefetch — drop them all.
+  caches_.clear();
+  cache_order_.clear();
+
+  ++stats_.compactions;
+  stats_.log_entries_dropped += cs.dropped;
+  cs.virtual_seconds = stats_.virtual_seconds - t0;
+  return cs;
 }
 
 std::optional<ChunkLocation> SparseChunkIndex::do_lookup_or_insert(

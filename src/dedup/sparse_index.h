@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -73,6 +74,32 @@ class SparseChunkIndex final : public IndexBackend {
   // test in tests/index_test.cc holds this).
   void rebuild_from_log();
   void rebuild_from_log(std::vector<LogRecord> records);
+
+  // --- Entry-log compaction (ChunkStash's design; docs/retention.md) ---
+  // The log is append-only, so deleted snapshots leave dead (digest, loc)
+  // records behind. compact() rewrites the log keeping only entries the
+  // `live` predicate approves, in original insertion order, and patches the
+  // RAM cuckoo in place: a slot's placement depends only on the bucket hash
+  // and signature — both digest-derived, neither touched here — so live
+  // slots keep their position and just get the remapped log offset, while
+  // dead slots are cleared. Spill-bin offsets are filtered and remapped the
+  // same way; prefetch caches are dropped (container ids shifted).
+  //
+  // Cost model: one flash read per container scanned + one flash write per
+  // surviving container rewritten. Probe decisions for live keys are
+  // bit-identical before and after (the differential suite in
+  // tests/index_test.cc holds this); dead keys simply miss.
+  struct CompactionStats {
+    std::uint64_t entries_before = 0;
+    std::uint64_t entries_after = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t containers_scanned = 0;
+    std::uint64_t containers_rewritten = 0;
+    double virtual_seconds = 0;
+  };
+  using LivePredicate =
+      std::function<bool(const ChunkDigest&, const ChunkLocation&)>;
+  CompactionStats compact(const LivePredicate& live);
 
   // Geometry probes for the test suite.
   std::size_t bucket_count() const;

@@ -1,8 +1,30 @@
 #include "dedup/store.h"
 
+#include <utility>
+
 #include "common/check.h"
 
 namespace shredder::dedup {
+
+void ChunkStore::set_observer(Observer observer) {
+  MutexLock lock(mutex_);
+  observer_ = std::move(observer);
+  notify_locked();
+}
+
+StoreOccupancy ChunkStore::occupancy_locked() const {
+  StoreOccupancy occ;
+  occ.chunks = chunks_.size();
+  occ.bytes = unique_bytes_;
+  occ.refs = total_refs_;
+  occ.zero_ref_chunks = zero_ref_chunks_;
+  occ.zero_ref_bytes = zero_ref_bytes_;
+  return occ;
+}
+
+void ChunkStore::notify_locked() {
+  if (observer_) observer_(occupancy_locked());
+}
 
 PutOutcome ChunkStore::put(const ChunkDigest& digest, ByteSpan data) {
 #ifndef NDEBUG
@@ -17,10 +39,16 @@ PutOutcome ChunkStore::put(const ChunkDigest& digest, ByteSpan data) {
   auto [it, inserted] =
       chunks_.try_emplace(digest, Entry{ByteVec(data.begin(), data.end()), 1});
   if (!inserted) {
+    if (it->second.refs == 0) {
+      --zero_ref_chunks_;
+      zero_ref_bytes_ -= it->second.data.size();
+    }
     ++it->second.refs;
+    notify_locked();
     return PutOutcome::kRefAdded;
   }
   unique_bytes_ += data.size();
+  notify_locked();
   return PutOutcome::kInserted;
 }
 
@@ -34,10 +62,16 @@ PutOutcome ChunkStore::put(const ChunkDigest& digest, ByteVec&& data) {
   ++total_refs_;
   auto [it, inserted] = chunks_.try_emplace(digest, Entry{std::move(data), 1});
   if (!inserted) {
+    if (it->second.refs == 0) {
+      --zero_ref_chunks_;
+      zero_ref_bytes_ -= it->second.data.size();
+    }
     ++it->second.refs;
+    notify_locked();
     return PutOutcome::kRefAdded;
   }
   unique_bytes_ += size;
+  notify_locked();
   return PutOutcome::kInserted;
 }
 
@@ -57,33 +91,122 @@ bool ChunkStore::add_ref(const ChunkDigest& digest) {
   MutexLock lock(mutex_);
   const auto it = chunks_.find(digest);
   if (it == chunks_.end()) return false;
+  if (it->second.refs == 0) {
+    // Resurrection: an in-flight backup re-referenced a chunk whose last
+    // snapshot was deleted before the GC sweep got to it.
+    --zero_ref_chunks_;
+    zero_ref_bytes_ -= it->second.data.size();
+  }
   ++it->second.refs;
   ++total_refs_;
+  notify_locked();
   return true;
 }
 
-std::optional<std::uint64_t> ChunkStore::release_ref(const ChunkDigest& digest) {
+ReleaseOutcome ChunkStore::release_ref(const ChunkDigest& digest,
+                                       std::uint64_t* remaining) {
   MutexLock lock(mutex_);
   const auto it = chunks_.find(digest);
-  if (it == chunks_.end()) return std::nullopt;
+  if (it == chunks_.end()) return ReleaseOutcome::kUnknownDigest;
+  if (it->second.refs == 0) return ReleaseOutcome::kNoRefs;
   --it->second.refs;
   --total_refs_;
-  const std::uint64_t remaining = it->second.refs;
-  if (remaining == 0) {
-    unique_bytes_ -= it->second.data.size();
-    chunks_.erase(it);
+  if (remaining != nullptr) *remaining = it->second.refs;
+  if (it->second.refs > 0) {
+    notify_locked();
+    return ReleaseOutcome::kLive;
   }
-  return remaining;
+  if (deferred_reclaim_) {
+    ++zero_ref_chunks_;
+    zero_ref_bytes_ += it->second.data.size();
+    notify_locked();
+    return ReleaseOutcome::kDeferred;
+  }
+  unique_bytes_ -= it->second.data.size();
+  chunks_.erase(it);
+  notify_locked();
+  return ReleaseOutcome::kReclaimed;
 }
 
-bool ChunkStore::erase(const ChunkDigest& digest) {
+EraseOutcome ChunkStore::erase(const ChunkDigest& digest) {
   MutexLock lock(mutex_);
   const auto it = chunks_.find(digest);
-  if (it == chunks_.end()) return false;
+  if (it == chunks_.end()) return EraseOutcome::kUnknownDigest;
+  if (it->second.refs == 0) {
+    --zero_ref_chunks_;
+    zero_ref_bytes_ -= it->second.data.size();
+  }
   total_refs_ -= it->second.refs;
   unique_bytes_ -= it->second.data.size();
   chunks_.erase(it);
-  return true;
+  notify_locked();
+  return EraseOutcome::kErased;
+}
+
+SweepStats ChunkStore::sweep_zero_refs(
+    const std::function<bool(const ChunkDigest&)>& keep) {
+  MutexLock lock(mutex_);
+  SweepStats stats;
+  for (auto it = chunks_.begin(); it != chunks_.end();) {
+    ++stats.scanned;
+    if (it->second.refs != 0) {
+      ++it;
+      continue;
+    }
+    if (keep && keep(it->first)) {
+      ++stats.kept;
+      ++it;
+      continue;
+    }
+    const std::uint64_t size = it->second.data.size();
+    ++stats.freed_chunks;
+    stats.freed_bytes += size;
+    --zero_ref_chunks_;
+    zero_ref_bytes_ -= size;
+    unique_bytes_ -= size;
+    it = chunks_.erase(it);
+  }
+  notify_locked();
+  return stats;
+}
+
+std::vector<ChunkDigest> ChunkStore::rebuild_refs(
+    const std::unordered_map<ChunkDigest, std::uint64_t, ChunkDigestHash>&
+        counts) {
+  MutexLock lock(mutex_);
+  std::vector<ChunkDigest> zeroed;
+  total_refs_ = 0;
+  zero_ref_chunks_ = 0;
+  zero_ref_bytes_ = 0;
+  for (auto it = chunks_.begin(); it != chunks_.end();) {
+    const auto c = counts.find(it->first);
+    const std::uint64_t refs = c == counts.end() ? 0 : c->second;
+    it->second.refs = refs;
+    total_refs_ += refs;
+    if (refs == 0) {
+      if (deferred_reclaim_) {
+        ++zero_ref_chunks_;
+        zero_ref_bytes_ += it->second.data.size();
+        zeroed.push_back(it->first);
+        ++it;
+      } else {
+        unique_bytes_ -= it->second.data.size();
+        it = chunks_.erase(it);
+      }
+    } else {
+      ++it;
+    }
+  }
+  notify_locked();
+  return zeroed;
+}
+
+std::optional<std::uint64_t> ChunkStore::ref_count(
+    const ChunkDigest& digest) const {
+  MutexLock lock(mutex_);
+  const auto it = chunks_.find(digest);
+  if (it == chunks_.end()) return std::nullopt;
+  return it->second.refs;
 }
 
 std::uint64_t ChunkStore::unique_chunks() const {
@@ -99,6 +222,21 @@ std::uint64_t ChunkStore::unique_bytes() const {
 std::uint64_t ChunkStore::total_refs() const {
   MutexLock lock(mutex_);
   return total_refs_;
+}
+
+std::uint64_t ChunkStore::zero_ref_chunks() const {
+  MutexLock lock(mutex_);
+  return zero_ref_chunks_;
+}
+
+std::uint64_t ChunkStore::zero_ref_bytes() const {
+  MutexLock lock(mutex_);
+  return zero_ref_bytes_;
+}
+
+StoreOccupancy ChunkStore::occupancy() const {
+  MutexLock lock(mutex_);
+  return occupancy_locked();
 }
 
 }  // namespace shredder::dedup

@@ -1,9 +1,17 @@
 // Content-addressed chunk store: holds one copy of each unique chunk and
 // reference counts it. The backup site (paper §7.2) keeps one of these to
 // reconstruct images from chunk/pointer streams.
+//
+// Lifecycle (docs/retention.md): every put/add_ref takes one reference,
+// every release_ref drops one. In immediate mode the chunk is freed the
+// moment its last reference goes; in deferred-reclaim mode (the retention
+// subsystem's GC epoch/pin protocol) the entry is instead parked at zero
+// refs — still resurrectable by add_ref/put — until an explicit
+// sweep_zero_refs() decides it is provably unreferenced and frees it.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -20,15 +28,62 @@ namespace shredder::dedup {
 // double-count (a shared store serving many tenants) branch on this.
 enum class PutOutcome { kInserted, kRefAdded };
 
+// What a release_ref() did. Every state a caller could previously only
+// infer from optional-vs-value is now named; kNoRefs and kUnknownDigest
+// leave the store untouched so callers can treat them as typed errors.
+enum class ReleaseOutcome {
+  kLive,           // references remain; chunk stays resident
+  kReclaimed,      // last reference dropped, chunk freed immediately
+  kDeferred,       // last reference dropped, chunk parked at zero refs
+                   // awaiting sweep_zero_refs (deferred-reclaim mode)
+  kNoRefs,         // entry already at zero references (double release)
+  kUnknownDigest,  // digest not in the store
+};
+
+// What an erase() did. Unknown digests were previously a silent `false`.
+enum class EraseOutcome { kErased, kUnknownDigest };
+
+// Point-in-time occupancy, handed to the observer after every mutation so
+// consumers (retention wires these into obs::Registry gauges) track the
+// store without polling. `chunks`/`bytes` include zero-ref parked entries;
+// the zero_ref_* pair counts the reclaimable subset.
+struct StoreOccupancy {
+  std::uint64_t chunks = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t refs = 0;
+  std::uint64_t zero_ref_chunks = 0;
+  std::uint64_t zero_ref_bytes = 0;
+};
+
+// Result of one sweep_zero_refs() pass.
+struct SweepStats {
+  std::uint64_t scanned = 0;       // entries examined
+  std::uint64_t freed_chunks = 0;  // zero-ref entries erased
+  std::uint64_t freed_bytes = 0;
+  std::uint64_t kept = 0;          // zero-ref entries retained by `keep`
+};
+
 class ChunkStore {
  public:
-  ChunkStore() = default;
+  // `deferred_reclaim` parks last-reference chunks at zero refs instead of
+  // freeing them inline — the GC sweep (retention::RetentionManager)
+  // reclaims them once no in-flight backup can still resurrect the digest.
+  explicit ChunkStore(bool deferred_reclaim = false)
+      : deferred_reclaim_(deferred_reclaim) {}
+
+  // Occupancy observer, invoked after every mutating call while the store
+  // lock is held (so snapshots are exact, never torn). The callback must be
+  // cheap and must not re-enter the store. dedup/ sits below obs/ in the
+  // module DAG, so gauge publication lives in the consumer (retention).
+  using Observer = std::function<void(const StoreOccupancy&)>;
+  void set_observer(Observer observer);
 
   // Inserts a chunk with one reference, or — if the digest already exists —
   // adds a reference to the stored copy, reported explicitly via the
-  // outcome. The digest must be the canonical chunk hash (SHA-256) of
-  // `data` — checked in debug builds, including digests precomputed on the
-  // device by the fingerprint stage.
+  // outcome. A zero-ref parked entry is resurrected (kRefAdded). The digest
+  // must be the canonical chunk hash (SHA-256) of `data` — checked in debug
+  // builds, including digests precomputed on the device by the fingerprint
+  // stage.
   PutOutcome put(const ChunkDigest& digest, ByteSpan data);
   // Adopting overload: moves `data` into the store when the chunk is new,
   // avoiding the copy on the zero-copy wire path. On kRefAdded the vector
@@ -40,32 +95,67 @@ class ChunkStore {
 
   bool contains(const ChunkDigest& digest) const;
 
-  // Adds a reference to an existing chunk. Returns false if unknown.
+  // Adds a reference to an existing chunk, resurrecting a zero-ref parked
+  // entry. Returns false if unknown.
   bool add_ref(const ChunkDigest& digest);
 
-  // Drops one reference (a tenant deleted a snapshot that used this chunk);
-  // the chunk is reclaimed when its last reference goes. Returns the
-  // remaining reference count, or nullopt if the digest is unknown.
-  std::optional<std::uint64_t> release_ref(const ChunkDigest& digest);
+  // Drops one reference (a tenant deleted a snapshot that used this chunk).
+  // Typed outcome per the enum above; `remaining`, when non-null, receives
+  // the post-call reference count on kLive/kReclaimed/kDeferred and is
+  // untouched on the error outcomes.
+  ReleaseOutcome release_ref(const ChunkDigest& digest,
+                             std::uint64_t* remaining = nullptr);
 
-  // Removes a chunk outright regardless of its reference count (offline
-  // garbage collection / forced eviction). Returns false if unknown.
-  bool erase(const ChunkDigest& digest);
+  // Removes a chunk outright regardless of its reference count (forced
+  // eviction; the GC path uses sweep_zero_refs instead).
+  EraseOutcome erase(const ChunkDigest& digest);
+
+  // Frees zero-ref parked entries. `keep`, when set, vetoes individual
+  // digests (the GC epoch protocol keeps digests zeroed too recently for
+  // every in-flight backup to have observed). Runs under the store lock —
+  // `keep` must be cheap and must not re-enter the store.
+  SweepStats sweep_zero_refs(
+      const std::function<bool(const ChunkDigest&)>& keep = {});
+
+  // Current reference count, or nullopt if unknown. Zero means parked.
+  std::optional<std::uint64_t> ref_count(const ChunkDigest& digest) const;
+
+  // Crash recovery (docs/retention.md): replaces every entry's reference
+  // count with counts[digest] — the occurrence totals recomputed from the
+  // live snapshot manifests, which are the durable authority. Digests absent
+  // from `counts` drop to zero references: parked in deferred-reclaim mode
+  // (the next GC decides), freed immediately otherwise. Returns the digests
+  // left at zero refs so the caller can re-seed its reclamation queue.
+  std::vector<ChunkDigest> rebuild_refs(
+      const std::unordered_map<ChunkDigest, std::uint64_t, ChunkDigestHash>&
+          counts);
 
   std::uint64_t unique_chunks() const;
   std::uint64_t unique_bytes() const;
   std::uint64_t total_refs() const;
+  std::uint64_t zero_ref_chunks() const;
+  std::uint64_t zero_ref_bytes() const;
+  StoreOccupancy occupancy() const;
+  bool deferred_reclaim() const { return deferred_reclaim_; }
 
  private:
   struct Entry {
     ByteVec data;
     std::uint64_t refs = 1;
   };
+
+  StoreOccupancy occupancy_locked() const REQUIRES(mutex_);
+  void notify_locked() REQUIRES(mutex_);
+
+  const bool deferred_reclaim_;
   mutable Mutex mutex_;
   std::unordered_map<ChunkDigest, Entry, ChunkDigestHash> chunks_
       GUARDED_BY(mutex_);
   std::uint64_t unique_bytes_ GUARDED_BY(mutex_) = 0;
   std::uint64_t total_refs_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t zero_ref_chunks_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t zero_ref_bytes_ GUARDED_BY(mutex_) = 0;
+  Observer observer_ GUARDED_BY(mutex_);
 };
 
 }  // namespace shredder::dedup

@@ -71,9 +71,18 @@ ChunkingService::ChunkingService(ServiceConfig config)
                                                    tables_, config_.chunker);
   if (config_.dedup_on_store) {
     index_ = dedup::make_index(config_.index);
+    // Service-owned stores run in deferred-reclaim mode so delete_image
+    // parks zero-ref chunks for the GC epoch protocol instead of freeing
+    // them under concurrent sessions.
     store_ = config_.store != nullptr
                  ? config_.store
-                 : std::make_shared<dedup::ChunkStore>();
+                 : std::make_shared<dedup::ChunkStore>(
+                       /*deferred_reclaim=*/true);
+    retention::RetentionConfig retention_cfg;
+    retention_cfg.registry = registry_;
+    retention_cfg.tracer = tracer_;
+    retention_ =
+        std::make_unique<retention::RetentionManager>(store_, retention_cfg);
   }
   aggregate_.init_seconds = engine_->init_seconds();
   scheduler_thread_ = std::thread([this] { scheduler_loop(); });
@@ -161,6 +170,8 @@ ChunkingService::StreamId ChunkingService::open(TenantOptions opts) {
       config_.dedup_on_store ||
       (session->sink != nullptr && session->sink->wants_payload());
   session->tail.set_slot_cap(0);
+  // Dedup sessions pin the GC epoch for their whole walk (retention.h).
+  if (retention_) session->pin = retention_->pin();
   sessions_.emplace(id, std::move(session));
   ++open_sessions_;
   ++aggregate_.n_tenants;
@@ -416,12 +427,15 @@ void ChunkingService::store_loop() {
                 const auto existing = index_->lookup_or_insert(
                     d, dedup::ChunkLocation{next_store_offset_, c.size},
                     s->id);
-                if (existing.has_value()) {
+                // A failed add_ref on an index hit is a stale entry — the
+                // chunk was deleted and GC-swept after the index recorded
+                // it. Self-heal: treat the chunk as unique and re-store the
+                // payload (dedup ratio degrades, correctness never).
+                bool duplicate = existing.has_value();
+                if (duplicate && !store_->add_ref(d)) duplicate = false;
+                if (duplicate) {
                   ++s->report.n_duplicate_chunks;
                   s->report.duplicate_bytes += c.size;
-                  SHREDDER_CHECK_MSG(
-                      store_->add_ref(d),
-                      "ChunkingService: duplicate chunk missing from store");
                 } else {
                   SHREDDER_CHECK_MSG(
                       c.offset >= s->tail.base() && c.end() <= s->tail.end(),
@@ -648,6 +662,13 @@ void ChunkingService::finalize_session(Session& s, std::uint64_t total_bytes,
       r.virtual_seconds > 0
           ? static_cast<double>(total_bytes) / r.virtual_seconds
           : 0.0;
+  // Retention: the completed stream's digest list becomes its snapshot
+  // manifest (the durable record delete_image walks), and the session's GC
+  // pin lifts — chunks this walk zero-stamped are now the sweep's to free.
+  if (retention_ && !s.opts.image_id.empty()) {
+    retention_->record_image(r.name, s.opts.image_id, s.digests);
+  }
+  s.pin.release();
   {
     MutexLock lock(mu_);
     aggregate_.total_bytes += total_bytes;
@@ -750,6 +771,15 @@ ServiceHealth ChunkingService::health() const {
       reg.counter_sum("service.transport_retransmits_total");
   h.transport_repairs = reg.counter_sum("service.transport_repairs_total");
   return h;
+}
+
+retention::RetentionManager::DeleteStats ChunkingService::delete_image(
+    const std::string& tenant, const std::string& image) {
+  if (!retention_) {
+    throw std::logic_error(
+        "ChunkingService: delete_image requires dedup_on_store");
+  }
+  return retention_->delete_image(tenant, image);
 }
 
 void ChunkingService::set_tenant_transport(const std::string& tenant,

@@ -60,6 +60,7 @@
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "rabin/rabin.h"
+#include "retention/retention.h"
 
 namespace shredder::service {
 
@@ -186,6 +187,12 @@ struct TenantOptions {
   // Per-chunk shims (wrapped in a PerChunkAdapter over the batch path).
   ChunkCallback on_chunk;    // invoked on the store thread, in stream order
   DigestCallback on_digest;  // per-chunk digest upcall (fingerprint mode)
+  // Snapshot identity for retention (dedup_on_store services only). When
+  // set, the session's ordered digest list is recorded as a chunk manifest
+  // under (name, image_id) once the stream completes, making the snapshot
+  // deletable via delete_image(). Empty = the stream leaves no manifest
+  // (its store references are then permanent until the service dies).
+  std::string image_id;
 };
 
 // Per-tenant statistics, final after the session completes.
@@ -324,6 +331,25 @@ class ChunkingService {
     return store_.get();
   }
 
+  // --- snapshot retention (dedup_on_store mode) ---------------------------
+  // The retention manager over the shared chunk store (manifests, GC,
+  // compaction); nullptr unless dedup_on_store. Sessions opened with
+  // TenantOptions::image_id record their manifests here.
+  retention::RetentionManager* retention() noexcept { return retention_.get(); }
+  const retention::RetentionManager* retention() const noexcept {
+    return retention_.get();
+  }
+
+  // Per-tenant snapshot delete: walks the manifest recorded under
+  // (tenant, image) — the tenant's name and its TenantOptions::image_id —
+  // releasing one shared-store reference per chunk occurrence. Safe against
+  // concurrent sessions: every open session holds a GC pin, and the dedup
+  // path self-heals stale index hits. Throws std::logic_error without
+  // dedup_on_store, retention::RetentionError for unknown / in-progress /
+  // double deletes.
+  retention::RetentionManager::DeleteStats delete_image(
+      const std::string& tenant, const std::string& image);
+
  private:
   struct PendingBuffer {
     ByteVec payload;
@@ -363,6 +389,10 @@ class ChunkingService {
     // each holding under-cap leases could otherwise starve the shared ring.
     ChunkSink* sink = nullptr;
     std::unique_ptr<PerChunkAdapter> adapter;
+    // GC pin held for the session's whole dedup walk (dedup_on_store): a
+    // concurrent gc() must not free a chunk between this stream's index hit
+    // and its add_ref. Released by finalize_session.
+    retention::RetentionManager::Pin pin;
     std::uint64_t batch_seq = 0;
     bool retain = false;
     PayloadTail tail;
@@ -413,6 +443,7 @@ class ChunkingService {
   // Shared inline-dedup state, store thread only (dedup_on_store mode).
   std::unique_ptr<dedup::IndexBackend> index_;
   std::shared_ptr<dedup::ChunkStore> store_;
+  std::unique_ptr<retention::RetentionManager> retention_;
   std::uint64_t next_store_offset_ = 0;
   const Stopwatch wall_;
 

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstring>
 #include <thread>
+#include <unordered_map>
 
 #include "chunking/cdc.h"
 #include "common/rng.h"
@@ -177,14 +178,134 @@ TEST(ChunkStore, ReleaseRefReclaimsOnLastReference) {
   store.put(da, as_bytes(a));
   store.put(db, as_bytes(b));
   store.add_ref(da);  // a: 2 refs, b: 1 ref
-  EXPECT_EQ(store.release_ref(da), 1u);
+  std::uint64_t remaining = 99;
+  EXPECT_EQ(store.release_ref(da, &remaining), ReleaseOutcome::kLive);
+  EXPECT_EQ(remaining, 1u);
   EXPECT_TRUE(store.contains(da));
-  EXPECT_EQ(store.release_ref(da), 0u);
+  EXPECT_EQ(store.release_ref(da, &remaining), ReleaseOutcome::kReclaimed);
+  EXPECT_EQ(remaining, 0u);
   EXPECT_FALSE(store.contains(da));  // reclaimed with the last reference
   EXPECT_EQ(store.unique_chunks(), 1u);
   EXPECT_EQ(store.unique_bytes(), b.size());
   EXPECT_EQ(store.total_refs(), 1u);
-  EXPECT_FALSE(store.release_ref(da).has_value());  // now unknown
+}
+
+TEST(ChunkStore, ReleaseRefUnknownDigestIsTypedAndInert) {
+  ChunkStore store;
+  const auto a = random_bytes(64, 7);
+  const auto da = ChunkHasher::hash(as_bytes(a));
+  std::uint64_t remaining = 99;
+  // Unknown digest: typed outcome, `remaining` untouched, store unchanged.
+  EXPECT_EQ(store.release_ref(da, &remaining),
+            ReleaseOutcome::kUnknownDigest);
+  EXPECT_EQ(remaining, 99u);
+  EXPECT_EQ(store.total_refs(), 0u);
+  store.put(da, as_bytes(a));
+  EXPECT_EQ(store.release_ref(da), ReleaseOutcome::kReclaimed);
+  EXPECT_EQ(store.release_ref(da), ReleaseOutcome::kUnknownDigest);
+}
+
+TEST(ChunkStore, DeferredReclaimParksAndResurrects) {
+  ChunkStore store(/*deferred_reclaim=*/true);
+  const auto a = random_bytes(64, 21);
+  const auto da = ChunkHasher::hash(as_bytes(a));
+  store.put(da, as_bytes(a));
+  EXPECT_EQ(store.release_ref(da), ReleaseOutcome::kDeferred);
+  // Parked, not freed: still resident, counted as zero-ref.
+  EXPECT_TRUE(store.contains(da));
+  EXPECT_EQ(store.zero_ref_chunks(), 1u);
+  EXPECT_EQ(store.zero_ref_bytes(), a.size());
+  EXPECT_EQ(store.ref_count(da), 0u);
+  // Double release on a parked chunk is a typed error, not an underflow.
+  EXPECT_EQ(store.release_ref(da), ReleaseOutcome::kNoRefs);
+  // add_ref resurrects.
+  EXPECT_TRUE(store.add_ref(da));
+  EXPECT_EQ(store.ref_count(da), 1u);
+  EXPECT_EQ(store.zero_ref_chunks(), 0u);
+  // Park again, then resurrect via put.
+  EXPECT_EQ(store.release_ref(da), ReleaseOutcome::kDeferred);
+  EXPECT_EQ(store.put(da, as_bytes(a)), PutOutcome::kRefAdded);
+  EXPECT_EQ(store.ref_count(da), 1u);
+  EXPECT_EQ(store.zero_ref_bytes(), 0u);
+}
+
+TEST(ChunkStore, SweepFreesOnlyUnkeptZeroRefChunks) {
+  ChunkStore store(/*deferred_reclaim=*/true);
+  const auto a = random_bytes(64, 22);
+  const auto b = random_bytes(32, 23);
+  const auto c = random_bytes(16, 24);
+  const auto da = ChunkHasher::hash(as_bytes(a));
+  const auto db = ChunkHasher::hash(as_bytes(b));
+  const auto dc = ChunkHasher::hash(as_bytes(c));
+  store.put(da, as_bytes(a));
+  store.put(db, as_bytes(b));
+  store.put(dc, as_bytes(c));
+  store.release_ref(da);
+  store.release_ref(db);  // a and b parked; c live
+  const auto stats =
+      store.sweep_zero_refs([&](const ChunkDigest& d) { return d == db; });
+  EXPECT_EQ(stats.scanned, 3u);
+  EXPECT_EQ(stats.freed_chunks, 1u);
+  EXPECT_EQ(stats.freed_bytes, a.size());
+  EXPECT_EQ(stats.kept, 1u);
+  EXPECT_FALSE(store.contains(da));
+  EXPECT_TRUE(store.contains(db));  // vetoed by keep (still pinned)
+  EXPECT_TRUE(store.contains(dc));  // live, never a candidate
+  EXPECT_EQ(store.zero_ref_chunks(), 1u);
+}
+
+TEST(ChunkStore, OccupancyObserverSeesEveryMutation) {
+  ChunkStore store(/*deferred_reclaim=*/true);
+  StoreOccupancy last;
+  int calls = 0;
+  store.set_observer([&](const StoreOccupancy& o) {
+    last = o;
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);  // installation publishes the current state
+  const auto a = random_bytes(64, 25);
+  const auto da = ChunkHasher::hash(as_bytes(a));
+  store.put(da, as_bytes(a));
+  EXPECT_EQ(last.chunks, 1u);
+  EXPECT_EQ(last.bytes, a.size());
+  EXPECT_EQ(last.refs, 1u);
+  store.add_ref(da);
+  EXPECT_EQ(last.refs, 2u);
+  store.release_ref(da);
+  store.release_ref(da);
+  EXPECT_EQ(last.refs, 0u);
+  EXPECT_EQ(last.zero_ref_chunks, 1u);
+  store.sweep_zero_refs();
+  EXPECT_EQ(last.chunks, 0u);
+  EXPECT_EQ(last.bytes, 0u);
+  EXPECT_GE(calls, 6);
+}
+
+TEST(ChunkStore, RebuildRefsRecomputesFromAuthority) {
+  ChunkStore store(/*deferred_reclaim=*/true);
+  const auto a = random_bytes(64, 26);
+  const auto b = random_bytes(32, 27);
+  const auto da = ChunkHasher::hash(as_bytes(a));
+  const auto db = ChunkHasher::hash(as_bytes(b));
+  store.put(da, as_bytes(a));
+  store.put(db, as_bytes(b));
+  store.add_ref(da);  // a: 2, b: 1 — pretend these drifted from the truth
+  std::unordered_map<ChunkDigest, std::uint64_t, ChunkDigestHash> counts;
+  counts[da] = 5;  // manifests say 5 occurrences
+  const auto zeroed = store.rebuild_refs(counts);  // b unreferenced
+  EXPECT_EQ(store.ref_count(da), 5u);
+  EXPECT_EQ(store.ref_count(db), 0u);  // parked, not freed
+  EXPECT_EQ(store.total_refs(), 5u);
+  ASSERT_EQ(zeroed.size(), 1u);
+  EXPECT_EQ(zeroed[0], db);
+  // Immediate-reclaim mode frees instead of parking.
+  ChunkStore eager;
+  eager.put(da, as_bytes(a));
+  eager.put(db, as_bytes(b));
+  const auto zeroed2 = eager.rebuild_refs(counts);
+  EXPECT_TRUE(zeroed2.empty());
+  EXPECT_FALSE(eager.contains(db));
+  EXPECT_EQ(eager.unique_bytes(), a.size());
 }
 
 TEST(ChunkStore, EraseRemovesRegardlessOfRefs) {
@@ -193,11 +314,12 @@ TEST(ChunkStore, EraseRemovesRegardlessOfRefs) {
   const auto da = ChunkHasher::hash(as_bytes(a));
   store.put(da, as_bytes(a));
   store.add_ref(da);
-  EXPECT_TRUE(store.erase(da));
+  EXPECT_EQ(store.erase(da), EraseOutcome::kErased);
   EXPECT_FALSE(store.contains(da));
   EXPECT_EQ(store.total_refs(), 0u);
   EXPECT_EQ(store.unique_bytes(), 0u);
-  EXPECT_FALSE(store.erase(da));
+  // Unknown digest: typed outcome (negative-path contract).
+  EXPECT_EQ(store.erase(da), EraseOutcome::kUnknownDigest);
 }
 
 TEST(ChunkStore, PutReportsInsertedVsRefAdded) {

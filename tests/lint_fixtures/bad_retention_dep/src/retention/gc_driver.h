@@ -1,0 +1,11 @@
+// Fixture: the retention control plane reaching up into the layers that
+// drive it. Both the module-DAG check and the dedicated retention-isolation
+// check must flag this include; the self-test asserts the "retention
+// isolation" wording appears.
+#pragma once
+
+#include "backup/backup_server.h"
+
+namespace shredder::retention {
+struct BadGcDriver {};
+}  // namespace shredder::retention
